@@ -1,0 +1,7 @@
+"""Benchmark suite configuration: make the repo-local harness module
+importable from every bench file."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

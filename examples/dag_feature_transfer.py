@@ -1,0 +1,70 @@
+"""Feature transfer from a DAG-structured network (DenseNet-style) —
+the paper's Section 5.4 extension, working end to end.
+
+The generalized Staged plan schedules a DAG's feature nodes so that no
+operator ever runs twice and only the live cut of intermediate tensors
+is held — exactly what the chain-structured Staged plan does for
+AlexNet/VGG/ResNet, extended to multi-input layers (dense-block
+concatenations).
+
+Run:  python examples/dag_feature_transfer.py
+"""
+
+import numpy as np
+
+from repro.cnn.dag import run_staged, staged_schedule
+from repro.cnn.zoo.densenet import build_densenet_mini
+from repro.data.synthetic import generate_dataset
+from repro.features.pooling import pool_feature_tensor
+from repro.ml import LogisticRegression, f1_score, standardize, train_test_split
+
+
+def main():
+    dag = build_densenet_mini()
+    targets = dag.feature_nodes
+    print(f"network: {dag}")
+
+    print("\ngeneralized staged schedule:")
+    for step in staged_schedule(dag, targets):
+        print(f"  materialize {step.targets[0]:11s} "
+              f"compute={len(step.compute):2d} ops, "
+              f"keep live cut={list(step.keep)}")
+
+    dataset = generate_dataset(
+        "dag-demo", num_records=300, num_structured_features=24,
+        image_shape=(16, 16, 3), seed=3,
+    )
+    labels = dataset.labels()
+    structured = dataset.structured_matrix()
+
+    # Staged DAG inference per record; accumulate per-target features.
+    feature_matrices = {t: [] for t in targets}
+    peak = 0
+    for image in dataset.images():
+        results, held = run_staged(dag, image, targets)
+        peak = max(peak, held)
+        for target in targets:
+            feature_matrices[target].append(
+                pool_feature_tensor(results[target])
+            )
+    print(f"\npeak simultaneously-held tensors per record: {peak} "
+          f"(vs {len(dag.nodes)} nodes total)")
+
+    print(f"\n{'feature node':14s} {'test F1':>8s}")
+    x_tr, x_te, y_tr, y_te = train_test_split(structured, labels, 0.2)
+    x_tr, x_te = standardize(x_tr, x_te)
+    base = LogisticRegression(learning_rate=2.0).fit(x_tr, y_tr)
+    print(f"{'(struct only)':14s} "
+          f"{f1_score(y_te, base.predict(x_te)):>8.3f}")
+    for target in targets:
+        features = np.hstack(
+            [structured, np.stack(feature_matrices[target])]
+        )
+        x_tr, x_te, y_tr, y_te = train_test_split(features, labels, 0.2)
+        x_tr, x_te = standardize(x_tr, x_te)
+        model = LogisticRegression(learning_rate=2.0).fit(x_tr, y_tr)
+        print(f"{target:14s} {f1_score(y_te, model.predict(x_te)):>8.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Multimodal product recommender (the paper's motivating example).
+
+Alice at an online retailer predicts product popularity from
+structured features (price/title/category embeddings) and product
+images. She compares: structured features alone, structured + HOG,
+and structured + CNN features from every explored layer of ResNet50 —
+with a proper train/test split, exactly the Figure 8 methodology.
+
+Run:  python examples/multimodal_recommender.py
+"""
+
+import numpy as np
+
+from repro import Vista, default_resources
+from repro.data import amazon_dataset
+from repro.features.hog import hog_features
+from repro.ml import LogisticRegression, f1_score, standardize, train_test_split
+
+
+def evaluated_downstream(features, labels):
+    """A downstream M with held-out evaluation: 80/20 split,
+    standardized features, the paper's elastic-net LR."""
+    x_tr, x_te, y_tr, y_te = train_test_split(features, labels, 0.2)
+    x_tr, x_te = standardize(x_tr, x_te)
+    model = LogisticRegression(learning_rate=2.0).fit(x_tr, y_tr)
+    return {
+        "model": model,
+        "f1_test": f1_score(y_te, model.predict(x_te)),
+    }
+
+
+def main():
+    dataset = amazon_dataset(num_records=400)
+    structured = dataset.structured_matrix()
+    labels = dataset.labels()
+
+    # Baseline 1: structured features only.
+    base = evaluated_downstream(structured, labels)
+    print(f"structured only:       F1 = {base['f1_test']:.3f}")
+
+    # Baseline 2: structured + classical HOG image features.
+    hog = np.stack([hog_features(img) for img in dataset.images()])
+    with_hog = evaluated_downstream(
+        np.hstack([structured, hog]), labels
+    )
+    print(f"structured + HOG:      F1 = {with_hog['f1_test']:.3f}")
+
+    # Vista: structured + CNN features, one model per explored layer,
+    # materialized with the optimized Staged plan.
+    vista = Vista(
+        model_name="resnet50",
+        num_layers=5,
+        dataset=dataset,
+        resources=default_resources(num_nodes=4),
+        downstream_fn=evaluated_downstream,
+    )
+    result = vista.run()
+    print("\nstructured + ResNet50 layer features:")
+    for layer, layer_result in result.layer_results.items():
+        print(f"  {layer:10s} F1 = {layer_result.downstream['f1_test']:.3f}")
+
+    best_layer, best = max(
+        result.layer_results.items(),
+        key=lambda item: item[1].downstream["f1_test"],
+    )
+    lift = best.downstream["f1_test"] - base["f1_test"]
+    print(f"\nbest layer: {best_layer} "
+          f"(+{lift * 100:.1f} F1 points over structured-only)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: declarative feature transfer in a dozen lines.
+
+Mirrors the paper's Figure 13 usage: pick a roster CNN, say how many
+feature layers to explore, hand over the data tables and cluster
+specs, and let Vista optimize and run everything — partial CNN
+inference, joins, caching, and downstream training.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Vista, default_resources
+from repro.data import foods_dataset
+
+
+def main():
+    # Foods-like multimodal dataset: 130 structured features + an
+    # image per record, binary target (plant-based or not).
+    dataset = foods_dataset(num_records=120)
+
+    vista = Vista(
+        model_name="alexnet",     # from the roster: alexnet/vgg16/resnet50
+        num_layers=4,             # explore the top 4 feature layers
+        dataset=dataset,
+        resources=default_resources(num_nodes=2),  # 2x 32 GB, 8 cores
+    )
+
+    config = vista.optimize()
+    print("optimizer decisions:", config.describe())
+
+    result = vista.run()
+    print(f"\nplan executed: {result.plan}")
+    print(f"{'layer':8s}  {'feature dim':>11s}  {'train F1':>8s}")
+    for layer, layer_result in result.layer_results.items():
+        f1 = layer_result.downstream["f1_train"]
+        print(f"{layer:8s}  {layer_result.feature_dim:>11d}  {f1:>8.3f}")
+
+    best = max(
+        result.layer_results.items(),
+        key=lambda item: item[1].downstream["f1_train"],
+    )
+    print(f"\nbest transfer layer: {best[0]} "
+          f"(F1 = {best[1].downstream['f1_train']:.3f})")
+    print(f"inference GFLOPs: "
+          f"{result.metrics['inference_flops'] / 1e9:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of "Vista: Optimized System for Declarative
+Feature Transfer from Deep CNNs at Scale" (Nakandala & Kumar, SIGMOD
+2020).
+
+Public API highlights:
+
+- :class:`repro.core.Vista` — the declarative entry point: pick a
+  roster CNN, a number of feature layers, a dataset, and cluster
+  resources; Vista optimizes the configuration and runs its Staged
+  plan.
+- :mod:`repro.cnn` — numpy CNN inference engine with partial
+  inference and the AlexNet/VGG16/ResNet50 roster.
+- :mod:`repro.dataflow` — the miniature parallel-dataflow engine with
+  the paper's memory model and crash semantics.
+- :mod:`repro.costmodel` — the calibrated analytical model used to
+  regenerate the paper's runtime figures at paper scale.
+"""
+
+from repro.core import (
+    Vista,
+    Resources,
+    DatasetStats,
+    VistaConfig,
+    default_resources,
+    optimize,
+)
+from repro.cnn import build_model, get_model_stats
+from repro.exceptions import (
+    NoFeasiblePlan,
+    VistaError,
+    WorkloadCrash,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DatasetStats",
+    "NoFeasiblePlan",
+    "Resources",
+    "Vista",
+    "VistaConfig",
+    "VistaError",
+    "WorkloadCrash",
+    "build_model",
+    "default_resources",
+    "get_model_stats",
+    "optimize",
+    "__version__",
+]

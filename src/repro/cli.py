@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+models
+    Show the roster CNNs with their optimizer-facing statistics.
+plan
+    Run the Vista optimizer (Algorithm 1) for a workload at paper
+    scale and print the chosen configuration and size estimates.
+estimate
+    Predict runtime/crash for an approach (lazy-N / eager / vista) on
+    the paper-scale cost model.
+run
+    Execute the workload end to end at mini scale on the real engines
+    with a synthetic dataset, printing per-layer downstream F1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.memory.model import GB
+
+
+def _add_workload_args(parser):
+    parser.add_argument(
+        "--model", default="resnet50",
+        choices=["alexnet", "vgg16", "resnet50"],
+    )
+    parser.add_argument("--layers", type=int, default=None,
+                        help="number of top feature layers (default: all)")
+    parser.add_argument(
+        "--dataset", default="foods", choices=["foods", "amazon"],
+    )
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--memory-gb", type=float, default=32.0)
+    parser.add_argument("--cores", type=int, default=8)
+    parser.add_argument("--gpu-gb", type=float, default=0.0)
+
+
+def _dataset_stats(name):
+    from repro.core.config import DatasetStats
+
+    if name == "foods":
+        return DatasetStats(20_000, 130, 14 * 1024)
+    return DatasetStats(200_000, 200, 15 * 1024)
+
+
+def _workload(args):
+    from repro.cnn import get_model_stats
+    from repro.core.config import Resources
+
+    stats = get_model_stats(args.model)
+    count = args.layers or len(stats.feature_layers)
+    layers = stats.top_feature_layers(count)
+    resources = Resources(
+        num_nodes=args.nodes,
+        system_memory_bytes=int(args.memory_gb * GB),
+        cores_per_node=args.cores,
+        gpu_memory_bytes=int(args.gpu_gb * GB),
+    )
+    return stats, layers, _dataset_stats(args.dataset), resources
+
+
+def cmd_models(args):
+    from repro.cnn import MODEL_ROSTER
+
+    print(f"{'model':10s} {'params':>8s} {'GFLOP/img':>9s} "
+          f"{'|f|ser':>8s} {'|f|mem':>8s} {'|f|gpu':>8s}  feature layers")
+    for name, stats in MODEL_ROSTER.items():
+        print(
+            f"{name:10s} {stats.total_params / 1e6:>7.1f}M "
+            f"{stats.total_flops / 1e9:>9.2f} "
+            f"{stats.serialized_bytes / GB:>7.2f}G "
+            f"{stats.runtime_mem_bytes / GB:>7.2f}G "
+            f"{stats.gpu_mem_bytes / GB:>7.2f}G  "
+            f"{','.join(stats.feature_layers)}"
+        )
+    return 0
+
+
+def cmd_plan(args):
+    from repro.core.optimizer import optimize
+    from repro.core.sizing import estimate_sizes
+    from repro.exceptions import NoFeasiblePlan
+
+    stats, layers, dataset_stats, resources = _workload(args)
+    sizing = estimate_sizes(stats, layers, dataset_stats)
+    print(f"workload: {args.model} x {len(layers)} layers over "
+          f"{dataset_stats.num_records} records ({args.dataset})")
+    for layer in layers:
+        nbytes = sizing.intermediate_table_bytes[layer]
+        print(f"  |T_{layer}| ~= {nbytes / GB:.2f} GB")
+    print(f"  s_single = {sizing.s_single / GB:.2f} GB, "
+          f"s_double = {sizing.s_double / GB:.2f} GB")
+    try:
+        config = optimize(stats, layers, dataset_stats, resources)
+    except NoFeasiblePlan as exc:
+        print(f"NO FEASIBLE PLAN: {exc}")
+        return 1
+    print(f"optimizer: {config.describe()}")
+    return 0
+
+
+def cmd_estimate(args):
+    from repro.core.optimizer import optimize
+    from repro.core.plans import EAGER, LAZY, STAGED
+    from repro.costmodel import (
+        estimate_runtime,
+        ignite_default_setup,
+        spark_default_setup,
+        vista_setup,
+    )
+    from repro.costmodel.crashes import manual_setup
+    from repro.costmodel.params import ClusterSpec
+
+    stats, layers, dataset_stats, resources = _workload(args)
+    cluster = ClusterSpec(
+        num_nodes=args.nodes, cores_per_node=args.cores,
+        system_memory_bytes=int(args.memory_gb * GB),
+    )
+    approach = args.approach
+    if approach.startswith("lazy-"):
+        cpu = int(approach.split("-")[1])
+        setup = (
+            spark_default_setup(cpu, dataset_stats.num_records)
+            if args.backend == "spark" else ignite_default_setup(cpu)
+        )
+        report = estimate_runtime(
+            stats, layers, dataset_stats, LAZY, setup, cluster
+        )
+    elif approach == "eager":
+        setup = manual_setup(
+            stats, layers, dataset_stats, 5, backend=args.backend,
+            cluster_memory_bytes=int(args.memory_gb * GB), label="eager",
+        )
+        report = estimate_runtime(
+            stats, layers, dataset_stats, EAGER, setup, cluster
+        )
+    else:  # vista
+        config = optimize(stats, layers, dataset_stats, resources)
+        report = estimate_runtime(
+            stats, layers, dataset_stats, STAGED,
+            vista_setup(config, backend=args.backend), cluster,
+        )
+    if report.crashed:
+        print(f"{approach}: CRASH ({report.crash})")
+        return 1
+    print(f"{approach}: {report.minutes:.1f} min")
+    for part, seconds in sorted(
+        report.breakdown.items(), key=lambda item: -item[1]
+    ):
+        print(f"  {part:10s} {seconds / 60:>7.1f} min")
+    if report.spilled_bytes:
+        print(f"  spilled    {report.spilled_bytes / GB:>7.1f} GB")
+    return 0
+
+
+def cmd_run(args):
+    from repro import Vista
+    from repro.core.config import Resources
+    from repro.data import amazon_dataset, foods_dataset
+
+    maker = foods_dataset if args.dataset == "foods" else amazon_dataset
+    dataset = maker(num_records=args.records)
+    resources = Resources(
+        num_nodes=args.nodes,
+        system_memory_bytes=int(args.memory_gb * GB),
+        cores_per_node=args.cores,
+    )
+    stats_layers = args.layers
+    vista = Vista(
+        model_name=args.model,
+        num_layers=stats_layers or 2,
+        dataset=dataset,
+        resources=resources,
+    )
+    config = vista.optimize()
+    print(f"optimizer: {config.describe()}")
+    result = vista.run()
+    for layer, layer_result in result.layer_results.items():
+        print(f"  {layer:10s} dim={layer_result.feature_dim:<6d} "
+              f"train F1={layer_result.downstream['f1_train']:.3f}")
+    print(f"inference GFLOPs: "
+          f"{result.metrics['inference_flops'] / 1e9:.3f}")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Vista (SIGMOD 2020) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="show the CNN roster")
+
+    plan = sub.add_parser("plan", help="run the Vista optimizer")
+    _add_workload_args(plan)
+
+    estimate = sub.add_parser(
+        "estimate", help="paper-scale runtime/crash prediction"
+    )
+    _add_workload_args(estimate)
+    estimate.add_argument(
+        "--approach", default="vista",
+        choices=["lazy-1", "lazy-5", "lazy-7", "eager", "vista"],
+    )
+    estimate.add_argument(
+        "--backend", default="spark", choices=["spark", "ignite"]
+    )
+
+    run = sub.add_parser("run", help="mini-scale end-to-end execution")
+    _add_workload_args(run)
+    run.add_argument("--records", type=int, default=80)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "models": cmd_models,
+        "plan": cmd_plan,
+        "estimate": cmd_estimate,
+        "run": cmd_run,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

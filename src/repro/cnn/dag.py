@@ -1,0 +1,308 @@
+"""DAG-structured networks and staged materialization over DAGs.
+
+Section 5.4 of the paper: supporting models like DenseNet or BERT
+"requires generalizing our staged materialization plan to support
+arbitrary DAG architectures", because a feature layer may depend on
+*multiple* input layers (concatenation or element-wise addition of
+several decoder outputs). This module implements that extension:
+
+- :class:`DagNode` / :class:`DagCNN` — a network as a DAG of TensorOps
+  whose nodes may take several inputs, merged by concatenation (along
+  the channel axis or flat), element-wise addition, or as the single
+  input;
+- partial inference from any *materialized cut*: given tensors for a
+  set of already-computed nodes, compute any set of target nodes
+  without re-running their ancestors;
+- :func:`staged_schedule` — the generalized Staged plan: for an
+  ordered list of target feature nodes, the minimal sequence of
+  (compute targets, frontier to keep materialized) steps such that no
+  operator ever runs twice and only the *live cut* is ever held — the
+  DAG analogue of the chain plan's "keep exactly the previous layer".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidLayerError, ShapeError
+
+
+@dataclass
+class DagNode:
+    """One node of a DAG network.
+
+    ``op`` is a TensorOp applied to the merged inputs; ``inputs`` are
+    upstream node names (empty = the network input); ``merge`` is how
+    multiple inputs combine before ``op``: "single", "concat" (last
+    axis), "concat_flat", or "add".
+    """
+
+    name: str
+    op: object
+    inputs: tuple = ()
+    merge: str = "single"
+    feature_node: bool = False
+
+
+def _merge_tensors(tensors, merge, name):
+    if len(tensors) == 1 and merge in ("single", "concat", "concat_flat",
+                                       "add"):
+        return tensors[0]
+    if merge == "concat":
+        return np.concatenate(tensors, axis=-1)
+    if merge == "concat_flat":
+        return np.concatenate([np.ravel(t) for t in tensors])
+    if merge == "add":
+        out = tensors[0]
+        for tensor in tensors[1:]:
+            if tensor.shape != out.shape:
+                raise ShapeError(
+                    f"{name}: add-merge shape mismatch "
+                    f"{tensor.shape} vs {out.shape}"
+                )
+            out = out + tensor
+        return out
+    raise ShapeError(f"{name}: unknown merge {merge!r}")
+
+
+class DagCNN:
+    """A network whose layers form a DAG (Def. 3.4 generalized).
+
+    Nodes are evaluated in insertion order, which must be a valid
+    topological order (validated at construction).
+    """
+
+    def __init__(self, name, nodes):
+        self.name = name
+        self.nodes = {}
+        self._order = []
+        seen = set()
+        for node in nodes:
+            if node.name in self.nodes:
+                raise InvalidLayerError(
+                    f"duplicate DAG node {node.name!r}"
+                )
+            for upstream in node.inputs:
+                if upstream not in seen:
+                    raise InvalidLayerError(
+                        f"node {node.name!r} depends on {upstream!r} "
+                        "which is not defined earlier (not a topological "
+                        "order)"
+                    )
+            self.nodes[node.name] = node
+            self._order.append(node.name)
+            seen.add(node.name)
+        self.feature_nodes = [
+            n for n in self._order if self.nodes[n].feature_node
+        ]
+
+    # ------------------------------------------------------------------
+    # graph structure
+    # ------------------------------------------------------------------
+    def ancestors(self, names):
+        """All transitive upstream node names of ``names`` (exclusive)."""
+        result = set()
+        stack = list(names)
+        while stack:
+            current = stack.pop()
+            for upstream in self.nodes[current].inputs:
+                if upstream not in result:
+                    result.add(upstream)
+                    stack.append(upstream)
+        return result
+
+    def required_subgraph(self, targets, materialized=()):
+        """Nodes that must run to produce ``targets`` given tensors for
+        the ``materialized`` cut, in topological order.
+
+        Backward traversal from the targets that *stops at* already
+        materialized nodes: an ancestor never re-runs when every path
+        from it to a target passes through the cut.
+        """
+        materialized = set(materialized)
+        needed = set()
+        stack = [t for t in targets if t not in materialized]
+        while stack:
+            current = stack.pop()
+            if current in needed:
+                continue
+            needed.add(current)
+            for upstream in self.nodes[current].inputs:
+                if upstream not in materialized and upstream not in needed:
+                    stack.append(upstream)
+        return [name for name in self._order if name in needed]
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def forward(self, input_tensor, targets=None, materialized=None):
+        """Compute ``targets`` (default: all feature nodes) from the
+        network input, reusing tensors for any ``materialized`` nodes
+        (dict name -> tensor) — partial DAG inference.
+
+        Returns a dict target name -> tensor.
+        """
+        targets = list(targets or self.feature_nodes)
+        for target in targets:
+            if target not in self.nodes:
+                raise InvalidLayerError(
+                    f"{self.name} has no node {target!r}"
+                )
+        values = dict(materialized or {})
+        for name in self.required_subgraph(targets, values):
+            node = self.nodes[name]
+            if node.inputs:
+                tensors = [values[upstream] for upstream in node.inputs]
+                merged = _merge_tensors(tensors, node.merge, name)
+            else:
+                merged = np.asarray(input_tensor, dtype=np.float32)
+            values[name] = node.op(merged)
+        return {target: values[target] for target in targets}
+
+    def flops_of(self, names):
+        """Total FLOPs of running exactly ``names`` (profiles attached
+        per node op as ``op.flops`` or 0)."""
+        return sum(
+            getattr(self.nodes[n].op, "flops", 0) for n in names
+        )
+
+    def __repr__(self):
+        return (
+            f"<DagCNN {self.name}: {len(self._order)} nodes, "
+            f"feature_nodes={self.feature_nodes}>"
+        )
+
+
+@dataclass(frozen=True)
+class StagedStep:
+    """One step of the generalized Staged plan."""
+
+    targets: tuple         # feature nodes materialized this step
+    compute: tuple         # operator nodes executed this step
+    keep: tuple            # the live cut to keep for later steps
+
+
+def staged_schedule(dag, ordered_targets):
+    """Generalized Staged materialization over a DAG.
+
+    Produces steps such that (a) every operator runs exactly once
+    across all steps (no Lazy-style redundancy), and (b) after each
+    step only the *live cut* is kept: nodes whose outputs some later
+    step still needs. This is the paper's Section 5.4 extension.
+    """
+    ordered_targets = list(ordered_targets)
+    for target in ordered_targets:
+        if target not in dag.nodes:
+            raise InvalidLayerError(f"{dag.name} has no node {target!r}")
+    steps = []
+    materialized = set()
+    for position, target in enumerate(ordered_targets):
+        compute = dag.required_subgraph([target], materialized)
+        materialized.update(compute)
+        # Minimal live cut: materialized nodes that future computation
+        # reads *directly* (inputs of not-yet-run nodes on remaining
+        # targets' paths), plus remaining targets already materialized.
+        # Anything upstream of the cut is covered and can be dropped.
+        remaining = ordered_targets[position + 1:]
+        live = set()
+        if remaining:
+            future_compute = dag.required_subgraph(remaining, materialized)
+            for name in future_compute:
+                for upstream in dag.nodes[name].inputs:
+                    if upstream in materialized:
+                        live.add(upstream)
+            live |= set(remaining) & materialized
+        steps.append(
+            StagedStep(
+                targets=(target,),
+                compute=tuple(compute),
+                keep=tuple(sorted(live)),
+            )
+        )
+    return steps
+
+
+def run_staged(dag, input_tensor, ordered_targets):
+    """Execute a staged schedule, holding only each step's live cut.
+
+    Returns (results dict, peak number of simultaneously held tensors)
+    so tests can check both correctness and the memory discipline.
+    """
+    results = {}
+    held = {}
+    peak_held = 0
+    for step in staged_schedule(dag, ordered_targets):
+        out = dag.forward(
+            input_tensor, targets=list(step.targets) + list(step.keep),
+            materialized=held,
+        )
+        for target in step.targets:
+            results[target] = out[target]
+        held = {name: out[name] for name in step.keep}
+        peak_held = max(peak_held, len(held) + len(step.targets))
+    return results, peak_held
+
+
+def build_demo_dag(input_shape=(16, 16, 3), seed=0):
+    """A small DenseNet/BERT-flavoured DAG for tests and examples:
+    two conv branches whose outputs are consumed both individually and
+    through concat- and add-merges, with three feature nodes."""
+    from repro.cnn.layers import Conv2D, Dense, Flatten, GlobalAvgPool
+    from repro.cnn.weights import he_normal, model_rng
+
+    rng = model_rng("demo-dag", seed=seed)
+    h, w, c = input_shape
+
+    def conv(name, in_c, out_c, shape):
+        weights = he_normal(rng, (3, 3, in_c, out_c), 9 * in_c)
+        return Conv2D(
+            (shape[0], shape[1], in_c), out_c, 3, padding=1,
+            weights=weights, name=name,
+        )
+
+    stem = conv("stem", c, 8, (h, w))
+    branch_a = conv("branch_a", 8, 8, (h, w))
+    branch_b = conv("branch_b", 8, 8, (h, w))
+    # dense-style concat of stem + both branches: 24 channels
+    fuse = conv("fuse", 24, 8, (h, w))
+    pool = GlobalAvgPool((h, w, 8), name="pool")
+    flat = Flatten((1, 1, 8), name="flat")
+    head_w = he_normal(rng, (8, 4), 8)
+    head = Dense(8, 4, weights=head_w, relu=False, name="head")
+
+    return DagCNN(
+        "demo-dag",
+        [
+            DagNode("stem", stem),
+            DagNode("branch_a", branch_a, inputs=("stem",)),
+            DagNode("branch_b", branch_b, inputs=("stem",)),
+            DagNode(
+                "residual", _AddRelu((h, w, 8)),
+                inputs=("branch_a", "branch_b"), merge="add",
+                feature_node=True,
+            ),
+            DagNode(
+                "fuse", fuse,
+                inputs=("stem", "branch_a", "branch_b"), merge="concat",
+                feature_node=True,
+            ),
+            DagNode("pool", pool, inputs=("fuse",)),
+            DagNode("flat", flat, inputs=("pool",)),
+            DagNode("head", head, inputs=("flat",), feature_node=True),
+        ],
+    )
+
+
+class _AddRelu:
+    """Tiny op for the demo DAG: ReLU over an already-merged tensor."""
+
+    def __init__(self, shape):
+        self.input_shape = tuple(shape)
+        self.output_shape = tuple(shape)
+        self.flops = int(np.prod(shape))
+        self.name = "add_relu"
+
+    def __call__(self, tensor):
+        return np.maximum(tensor, 0.0)

@@ -1,0 +1,34 @@
+"""Module-level inference helpers (Defs. 3.6 and 3.7).
+
+Thin functional wrappers over :class:`repro.cnn.network.CNN`, used by
+the plan executor so that plans stay agnostic of the CNN object's
+methods.
+"""
+
+from __future__ import annotations
+
+from repro.tensor.ops import grid_max_pool
+
+
+def full_inference(cnn, image_tensor, upto=None):
+    """CNN inference ``f̂_l(t)`` from a raw image tensor."""
+    return cnn.forward(image_tensor, upto=upto)
+
+
+def partial_inference(cnn, tensor, start, upto):
+    """Partial CNN inference ``f̂_{start→upto}(t)``; ``start=0`` (or
+    None) starts from the raw image."""
+    return cnn.partial_forward(tensor, start or 0, upto)
+
+
+def transfer_features(cnn, layer_tensor, pool_grid=2):
+    """Turn a materialized feature-layer tensor into the flat transfer
+    vector ``g_l(f̂_l(I))``.
+
+    Convolutional (3-d) layers are first max-pooled to a
+    ``pool_grid x pool_grid`` grid (Section 5, footnote 4) before
+    flattening; flat layers are used as-is.
+    """
+    if layer_tensor.ndim == 3:
+        layer_tensor = grid_max_pool(layer_tensor, grid=pool_grid)
+    return layer_tensor.reshape(-1)

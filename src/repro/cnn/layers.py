@@ -1,0 +1,252 @@
+"""Executable CNN layer TensorOps.
+
+Each class here is a :class:`~repro.tensor.ops.TensorOp` over (H, W, C)
+feature tensors (or flat vectors for dense layers). Convolution uses
+im2col + matmul; everything is plain numpy, single precision.
+
+The ResNet bottleneck block is a *composite* TensorOp so that the CNN
+as a whole remains an indexed chain (Def. 3.4) even though internally
+the block is a small DAG — exactly the simplification the paper's
+footnote 1 makes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.ops import TensorOp
+from repro.cnn.shapes import conv_output_hw
+
+
+def _pad_hw(tensor, padding):
+    if padding == 0:
+        return tensor
+    return np.pad(
+        tensor, ((padding, padding), (padding, padding), (0, 0)), mode="constant"
+    )
+
+
+def _im2col(tensor, kernel, stride, out_h, out_w):
+    """Extract (out_h*out_w, kernel*kernel*C) patches from (H, W, C)."""
+    h, w, c = tensor.shape
+    strides = tensor.strides
+    windows = np.lib.stride_tricks.as_strided(
+        tensor,
+        shape=(out_h, out_w, kernel, kernel, c),
+        strides=(
+            strides[0] * stride,
+            strides[1] * stride,
+            strides[0],
+            strides[1],
+            strides[2],
+        ),
+        writeable=False,
+    )
+    return windows.reshape(out_h * out_w, kernel * kernel * c)
+
+
+class Conv2D(TensorOp):
+    """2-d convolution with bias. Weights shape: (K, K, Cin, Cout)."""
+
+    def __init__(self, input_shape, filters, kernel, stride=1, padding=0,
+                 weights=None, bias=None, name="conv"):
+        h, w, cin = input_shape
+        out_h, out_w = conv_output_hw(h, w, kernel, stride, padding)
+        super().__init__(input_shape, (out_h, out_w, filters), name=name)
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.filters = filters
+        if weights is None:
+            weights = np.zeros((kernel, kernel, cin, filters), dtype=np.float32)
+        if bias is None:
+            bias = np.zeros(filters, dtype=np.float32)
+        self.weights = np.asarray(weights, dtype=np.float32)
+        self.bias = np.asarray(bias, dtype=np.float32)
+        self._wmat = self.weights.reshape(kernel * kernel * cin, filters)
+
+    def apply(self, tensor):
+        out_h, out_w, _ = self.output_shape
+        padded = _pad_hw(tensor.astype(np.float32, copy=False), self.padding)
+        cols = _im2col(padded, self.kernel, self.stride, out_h, out_w)
+        out = cols @ self._wmat + self.bias
+        return out.reshape(out_h, out_w, self.filters)
+
+
+class _Pool2D(TensorOp):
+    def __init__(self, input_shape, kernel, stride=None, padding=0, name="pool"):
+        h, w, c = input_shape
+        stride = stride or kernel
+        out_h, out_w = conv_output_hw(h, w, kernel, stride, padding)
+        super().__init__(input_shape, (out_h, out_w, c), name=name)
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+
+    def _windows(self, tensor):
+        out_h, out_w, c = self.output_shape
+        padded = _pad_hw(tensor, self.padding)
+        strides = padded.strides
+        return np.lib.stride_tricks.as_strided(
+            padded,
+            shape=(out_h, out_w, self.kernel, self.kernel, c),
+            strides=(
+                strides[0] * self.stride,
+                strides[1] * self.stride,
+                strides[0],
+                strides[1],
+                strides[2],
+            ),
+            writeable=False,
+        )
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling. Padding uses -inf so pads never win the max."""
+
+    def apply(self, tensor):
+        if self.padding > 0:
+            tensor = tensor.copy()
+        windows = self._windows(tensor)
+        return windows.max(axis=(2, 3))
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling (zero-padded)."""
+
+    def apply(self, tensor):
+        windows = self._windows(tensor)
+        return windows.mean(axis=(2, 3), dtype=np.float32)
+
+
+class GlobalAvgPool(TensorOp):
+    """Global average pooling to a (1, 1, C) tensor."""
+
+    def __init__(self, input_shape, name="global_avgpool"):
+        c = input_shape[2]
+        super().__init__(input_shape, (1, 1, c), name=name)
+
+    def apply(self, tensor):
+        return tensor.mean(axis=(0, 1), dtype=np.float32).reshape(1, 1, -1)
+
+
+class ReLU(TensorOp):
+    """Rectified linear non-linearity."""
+
+    def __init__(self, shape, name="relu"):
+        super().__init__(shape, shape, name=name)
+
+    def apply(self, tensor):
+        return np.maximum(tensor, 0.0)
+
+
+class LocalResponseNorm(TensorOp):
+    """AlexNet-style local response normalization across channels."""
+
+    def __init__(self, shape, depth_radius=2, bias=2.0, alpha=1e-4, beta=0.75,
+                 name="lrn"):
+        super().__init__(shape, shape, name=name)
+        self.depth_radius = depth_radius
+        self.bias = bias
+        self.alpha = alpha
+        self.beta = beta
+
+    def apply(self, tensor):
+        squared = np.square(tensor)
+        channels = tensor.shape[-1]
+        scale = np.empty_like(tensor)
+        for c in range(channels):
+            lo = max(0, c - self.depth_radius)
+            hi = min(channels, c + self.depth_radius + 1)
+            scale[..., c] = squared[..., lo:hi].sum(axis=-1)
+        denom = np.power(self.bias + self.alpha * scale, self.beta)
+        return (tensor / denom).astype(np.float32)
+
+
+class Flatten(TensorOp):
+    """Reshape a tensor to a flat vector (the in-network flatten, as
+    opposed to the user-facing FlattenOp ``g_l``)."""
+
+    def __init__(self, input_shape, name="flatten"):
+        length = int(np.prod(input_shape))
+        super().__init__(input_shape, (length,), name=name)
+
+    def apply(self, tensor):
+        return np.ascontiguousarray(tensor).reshape(-1)
+
+
+class Dense(TensorOp):
+    """Fully connected layer with optional ReLU fused in."""
+
+    def __init__(self, n_in, n_out, weights=None, bias=None, relu=True,
+                 name="dense"):
+        super().__init__((n_in,), (n_out,), name=name)
+        if weights is None:
+            weights = np.zeros((n_in, n_out), dtype=np.float32)
+        if bias is None:
+            bias = np.zeros(n_out, dtype=np.float32)
+        self.weights = np.asarray(weights, dtype=np.float32)
+        self.bias = np.asarray(bias, dtype=np.float32)
+        self.relu = relu
+
+    def apply(self, tensor):
+        out = tensor @ self.weights + self.bias
+        if self.relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+
+class BottleneckBlock(TensorOp):
+    """ResNet bottleneck residual block as one composite TensorOp.
+
+    1x1 reduce -> 3x3 (strided) -> 1x1 expand, plus an identity or
+    1x1-projection shortcut, ReLU after the add.
+    """
+
+    def __init__(self, input_shape, filters, stride=1, rng=None, name="block"):
+        h, w, cin = input_shape
+        cout = 4 * filters
+        out_h, out_w = conv_output_hw(h, w, 3, stride, 1)
+        super().__init__(input_shape, (out_h, out_w, cout), name=name)
+        rng = rng or np.random.default_rng(0)
+
+        def he(shape, fan_in):
+            return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape).astype(
+                np.float32
+            )
+
+        self.reduce = Conv2D(
+            input_shape, filters, 1,
+            weights=he((1, 1, cin, filters), cin), name=f"{name}/reduce",
+        )
+        self.conv3 = Conv2D(
+            self.reduce.output_shape, filters, 3, stride=stride, padding=1,
+            weights=he((3, 3, filters, filters), 9 * filters),
+            name=f"{name}/conv3",
+        )
+        self.expand = Conv2D(
+            self.conv3.output_shape, cout, 1,
+            weights=he((1, 1, filters, cout), filters), name=f"{name}/expand",
+        )
+        if stride != 1 or cin != cout:
+            self.shortcut = Conv2D(
+                input_shape, cout, 1, stride=stride,
+                weights=he((1, 1, cin, cout), cin), name=f"{name}/shortcut",
+            )
+        else:
+            self.shortcut = None
+
+    def apply(self, tensor):
+        branch = np.maximum(self.reduce(tensor), 0.0)
+        branch = np.maximum(self.conv3(branch), 0.0)
+        branch = self.expand(branch)
+        identity = self.shortcut(tensor) if self.shortcut else tensor
+        return np.maximum(branch + identity, 0.0)
+
+    def param_count(self):
+        count = self.reduce.weights.size + self.reduce.bias.size
+        count += self.conv3.weights.size + self.conv3.bias.size
+        count += self.expand.weights.size + self.expand.bias.size
+        if self.shortcut:
+            count += self.shortcut.weights.size + self.shortcut.bias.size
+        return int(count)

@@ -1,0 +1,137 @@
+"""The CNN abstraction (Definition 3.4) with partial inference.
+
+A ``CNN`` is an indexed chain of TensorOps ``f = f_nl ∘ ... ∘ f_1``.
+Layer indices here are 1-based to match the paper's notation; named
+feature layers (the transfer candidates users pick) map onto those
+indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidLayerError
+from repro.tensor.ops import TensorOp
+
+
+class CNN(TensorOp):
+    """An indexed chain of layer TensorOps.
+
+    Parameters
+    ----------
+    name:
+        Roster name, e.g. ``"alexnet"``.
+    layers:
+        Ordered list of TensorOps; layer ``i`` (1-based) is
+        ``layers[i-1]``.
+    feature_layers:
+        Names of the layers exposed for feature transfer, ordered from
+        lowest to highest in the network.
+    """
+
+    def __init__(self, name, layers, feature_layers):
+        if not layers:
+            raise InvalidLayerError("a CNN needs at least one layer")
+        super().__init__(layers[0].input_shape, layers[-1].output_shape, name=name)
+        self.layers = list(layers)
+        self._index_by_name = {op.name: i + 1 for i, op in enumerate(self.layers)}
+        if len(self._index_by_name) != len(self.layers):
+            raise InvalidLayerError(f"duplicate layer names in {name}")
+        for fl in feature_layers:
+            if fl not in self._index_by_name:
+                raise InvalidLayerError(f"feature layer {fl!r} not in {name}")
+        self.feature_layers = list(feature_layers)
+
+    @property
+    def num_layers(self):
+        return len(self.layers)
+
+    def layer_index(self, name):
+        """1-based index of a named layer."""
+        try:
+            return self._index_by_name[name]
+        except KeyError:
+            raise InvalidLayerError(f"{self.name} has no layer {name!r}") from None
+
+    def layer_name(self, index):
+        self._check_index(index)
+        return self.layers[index - 1].name
+
+    def output_shape_of(self, layer):
+        """Output shape of a layer given by name or 1-based index."""
+        index = self._resolve(layer)
+        return self.layers[index - 1].output_shape
+
+    def top_feature_layers(self, count):
+        """The ``count`` highest feature layers, lowest first — the
+        paper's API takes |L| counted from the top-most layer."""
+        if count < 1 or count > len(self.feature_layers):
+            raise InvalidLayerError(
+                f"{self.name} exposes {len(self.feature_layers)} feature "
+                f"layers; requested {count}"
+            )
+        return self.feature_layers[-count:]
+
+    def _resolve(self, layer):
+        if isinstance(layer, str):
+            return self.layer_index(layer)
+        return int(layer)
+
+    def _check_index(self, index):
+        if not 1 <= index <= self.num_layers:
+            raise InvalidLayerError(
+                f"layer index {index} out of range 1..{self.num_layers}"
+            )
+
+    def apply(self, tensor):
+        return self.forward(tensor)
+
+    def forward(self, tensor, upto=None):
+        """Run inference through layer ``upto`` (name or index);
+        the whole network if omitted. This is ``f̂_l`` (Def. 3.4)."""
+        stop = self._resolve(upto) if upto is not None else self.num_layers
+        self._check_index(stop)
+        out = np.asarray(tensor, dtype=np.float32)
+        for op in self.layers[:stop]:
+            out = op(out)
+        return out
+
+    def partial_forward(self, tensor, start, upto):
+        """Partial CNN inference ``f̂_{i→j}`` (Definition 3.7).
+
+        ``tensor`` must be the *output* of layer ``start`` (so inference
+        resumes at layer ``start + 1``) and runs through layer ``upto``.
+        ``start=0`` means start from the raw image.
+        """
+        begin = self._resolve(start) if start else 0
+        stop = self._resolve(upto)
+        if begin:
+            self._check_index(begin)
+        self._check_index(stop)
+        if stop < begin:
+            raise InvalidLayerError(
+                f"partial inference needs start <= upto, got {begin} > {stop}"
+            )
+        out = np.asarray(tensor, dtype=np.float32)
+        for op in self.layers[begin:stop]:
+            out = op(out)
+        return out
+
+    def flops_between(self, start, upto, profiles=None):
+        """FLOPs of ``f̂_{start→upto}`` given the layer profiles from
+        :func:`repro.cnn.shapes.profile_network` (or this instance's
+        attached ``profiles``)."""
+        profiles = profiles if profiles is not None else self.profiles
+        begin = self._resolve(start) if start else 0
+        stop = self._resolve(upto)
+        return sum(p.flops for p in profiles[begin:stop])
+
+    # Populated by the zoo builders with LayerProfile values so that
+    # executable models carry their own static metadata.
+    profiles = ()
+
+    def __repr__(self):
+        return (
+            f"<CNN {self.name}: {self.num_layers} layers, "
+            f"feature_layers={self.feature_layers}>"
+        )

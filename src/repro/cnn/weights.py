@@ -1,0 +1,27 @@
+"""Deterministic "pretrained" weight generation.
+
+We cannot ship ImageNet weights, so the zoo instantiates each model
+with He-initialized weights drawn from a generator seeded by the model
+name. This is documented in DESIGN.md: the system behaviour Vista
+optimizes (shapes, FLOPs, memory) is independent of weight values, and
+random conv+ReLU stacks still act as signal-preserving random feature
+maps for the accuracy experiment.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def model_rng(model_name, seed=0):
+    """A numpy Generator deterministically derived from the model name,
+    so every build of e.g. ``alexnet`` gets identical weights."""
+    digest = zlib.crc32(model_name.encode("utf-8"))
+    return np.random.default_rng((digest, seed))
+
+
+def he_normal(rng, shape, fan_in):
+    """He-normal initialization, the standard for ReLU networks."""
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape).astype(np.float32)

@@ -1,0 +1,64 @@
+"""AlexNet (Krizhevsky et al., 2012) — the paper's smallest roster CNN.
+
+The paper transfers layers conv5 through fc8 (|L| = 4). The ``full``
+profile is the real 227x227 architecture; the ``mini`` profile keeps
+the same layer names and chain structure at 32x32 with narrow channels
+so it executes quickly in tests and examples.
+"""
+
+from __future__ import annotations
+
+from repro.cnn.shapes import LayerSpec
+
+NAME = "alexnet"
+FULL_INPUT_SHAPE = (227, 227, 3)
+MINI_INPUT_SHAPE = (32, 32, 3)
+FEATURE_LAYERS = ["conv5", "fc6", "fc7", "fc8"]
+
+
+def full_specs():
+    """The real AlexNet chain (ReLU fused into conv/dense layers)."""
+    return [
+        LayerSpec("conv1", "conv", {"filters": 96, "kernel": 11, "stride": 4}),
+        LayerSpec("lrn1", "lrn"),
+        LayerSpec("pool1", "maxpool", {"kernel": 3, "stride": 2}),
+        LayerSpec("conv2", "conv", {"filters": 256, "kernel": 5, "padding": 2}),
+        LayerSpec("lrn2", "lrn"),
+        LayerSpec("pool2", "maxpool", {"kernel": 3, "stride": 2}),
+        LayerSpec("conv3", "conv", {"filters": 384, "kernel": 3, "padding": 1}),
+        LayerSpec("conv4", "conv", {"filters": 384, "kernel": 3, "padding": 1}),
+        LayerSpec(
+            "conv5", "conv", {"filters": 256, "kernel": 3, "padding": 1},
+            feature_layer=True,
+        ),
+        LayerSpec("pool5", "maxpool", {"kernel": 3, "stride": 2}),
+        LayerSpec("flatten", "flatten"),
+        LayerSpec("fc6", "dense", {"units": 4096}, feature_layer=True),
+        LayerSpec("fc7", "dense", {"units": 4096}, feature_layer=True),
+        LayerSpec(
+            "fc8", "dense", {"units": 1000, "relu": False}, feature_layer=True
+        ),
+    ]
+
+
+def mini_specs():
+    """Scaled-down AlexNet with identical layer names for fast tests."""
+    return [
+        LayerSpec("conv1", "conv",
+                  {"filters": 8, "kernel": 3, "stride": 2, "padding": 1}),
+        LayerSpec("lrn1", "lrn"),
+        LayerSpec("pool1", "maxpool", {"kernel": 2}),
+        LayerSpec("conv2", "conv", {"filters": 16, "kernel": 3, "padding": 1}),
+        LayerSpec("lrn2", "lrn"),
+        LayerSpec("pool2", "maxpool", {"kernel": 2}),
+        LayerSpec("conv3", "conv", {"filters": 16, "kernel": 3, "padding": 1}),
+        LayerSpec("conv4", "conv", {"filters": 16, "kernel": 3, "padding": 1}),
+        LayerSpec("conv5", "conv", {"filters": 8, "kernel": 3, "padding": 1},
+                  feature_layer=True),
+        LayerSpec("pool5", "maxpool", {"kernel": 2}),
+        LayerSpec("flatten", "flatten"),
+        LayerSpec("fc6", "dense", {"units": 32}, feature_layer=True),
+        LayerSpec("fc7", "dense", {"units": 32}, feature_layer=True),
+        LayerSpec("fc8", "dense", {"units": 10, "relu": False},
+                  feature_layer=True),
+    ]

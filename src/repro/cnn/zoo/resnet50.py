@@ -1,0 +1,73 @@
+"""ResNet50 (He et al., 2016) — the roster CNN with the largest
+feature layers.
+
+The paper transfers the top 5 layers drawn from the last two layer
+blocks: conv4_6, conv5_1, conv5_2, conv5_3, and the globally pooled
+2048-d output it labels fc6 (Figure 8). conv4_6's 14x14x1024 output is
+what makes Eager's intermediates blow past memory on the Amazon
+dataset (Figure 6) and drives the very large pre-materialized sizes in
+Table 2.
+
+Bottleneck residual blocks are single composite TensorOps so the CNN
+remains a chain (paper footnote 1).
+"""
+
+from __future__ import annotations
+
+from repro.cnn.shapes import LayerSpec
+
+NAME = "resnet50"
+FULL_INPUT_SHAPE = (224, 224, 3)
+MINI_INPUT_SHAPE = (32, 32, 3)
+FEATURE_LAYERS = ["conv4_6", "conv5_1", "conv5_2", "conv5_3", "fc6"]
+
+# (stage, block count, inner filters, stride of the first block)
+_FULL_STAGES = [(2, 3, 64, 1), (3, 4, 128, 2), (4, 6, 256, 2), (5, 3, 512, 2)]
+_MINI_STAGES = [(2, 3, 4, 1), (3, 4, 8, 2), (4, 6, 8, 2), (5, 3, 16, 2)]
+
+
+def _stage_specs(stages, feature_names):
+    specs = []
+    for stage, count, filters, first_stride in stages:
+        for i in range(1, count + 1):
+            name = f"conv{stage}_{i}"
+            specs.append(
+                LayerSpec(
+                    name, "bottleneck",
+                    {"filters": filters, "stride": first_stride if i == 1 else 1},
+                    feature_layer=name in feature_names,
+                )
+            )
+    return specs
+
+
+def full_specs():
+    feature_names = set(FEATURE_LAYERS)
+    specs = [
+        LayerSpec("conv1", "conv",
+                  {"filters": 64, "kernel": 7, "stride": 2, "padding": 3}),
+        LayerSpec("pool1", "maxpool", {"kernel": 3, "stride": 2, "padding": 1}),
+    ]
+    specs.extend(_stage_specs(_FULL_STAGES, feature_names))
+    specs.append(LayerSpec("avgpool", "global_avgpool"))
+    specs.append(LayerSpec("fc6", "flatten", feature_layer=True))
+    specs.append(
+        LayerSpec("fc1000", "dense", {"units": 1000, "relu": False})
+    )
+    return specs
+
+
+def mini_specs():
+    feature_names = set(FEATURE_LAYERS)
+    specs = [
+        LayerSpec("conv1", "conv",
+                  {"filters": 8, "kernel": 3, "stride": 1, "padding": 1}),
+        LayerSpec("pool1", "maxpool", {"kernel": 2}),
+    ]
+    specs.extend(_stage_specs(_MINI_STAGES, feature_names))
+    specs.append(LayerSpec("avgpool", "global_avgpool"))
+    specs.append(LayerSpec("fc6", "flatten", feature_layer=True))
+    specs.append(
+        LayerSpec("fc1000", "dense", {"units": 10, "relu": False})
+    )
+    return specs

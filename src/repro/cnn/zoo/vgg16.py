@@ -1,0 +1,59 @@
+"""VGG16 (Simonyan & Zisserman, 2014) — the paper's most
+compute-heavy roster CNN.
+
+The paper transfers fc6 through fc8 (|L| = 3). VGG16's huge runtime
+memory footprint is what drives the optimizer to cap its per-worker
+parallelism at 4 cores (Figure 11A) and makes Lazy-5/Lazy-7 crash in
+Figure 6.
+"""
+
+from __future__ import annotations
+
+from repro.cnn.shapes import LayerSpec
+
+NAME = "vgg16"
+FULL_INPUT_SHAPE = (224, 224, 3)
+MINI_INPUT_SHAPE = (32, 32, 3)
+FEATURE_LAYERS = ["fc6", "fc7", "fc8"]
+
+# (block, conv count, filters) for the five convolutional blocks.
+_FULL_BLOCKS = [(1, 2, 64), (2, 2, 128), (3, 3, 256), (4, 3, 512), (5, 3, 512)]
+_MINI_BLOCKS = [(1, 2, 8), (2, 2, 8), (3, 3, 16), (4, 3, 16), (5, 3, 16)]
+
+
+def _conv_blocks(blocks):
+    specs = []
+    for block, count, filters in blocks:
+        for i in range(1, count + 1):
+            specs.append(
+                LayerSpec(
+                    f"conv{block}_{i}", "conv",
+                    {"filters": filters, "kernel": 3, "padding": 1},
+                )
+            )
+        specs.append(LayerSpec(f"pool{block}", "maxpool", {"kernel": 2}))
+    return specs
+
+
+def full_specs():
+    specs = _conv_blocks(_FULL_BLOCKS)
+    specs.append(LayerSpec("flatten", "flatten"))
+    specs.append(LayerSpec("fc6", "dense", {"units": 4096}, feature_layer=True))
+    specs.append(LayerSpec("fc7", "dense", {"units": 4096}, feature_layer=True))
+    specs.append(
+        LayerSpec("fc8", "dense", {"units": 1000, "relu": False},
+                  feature_layer=True)
+    )
+    return specs
+
+
+def mini_specs():
+    specs = _conv_blocks(_MINI_BLOCKS)
+    specs.append(LayerSpec("flatten", "flatten"))
+    specs.append(LayerSpec("fc6", "dense", {"units": 32}, feature_layer=True))
+    specs.append(LayerSpec("fc7", "dense", {"units": 32}, feature_layer=True))
+    specs.append(
+        LayerSpec("fc8", "dense", {"units": 10, "relu": False},
+                  feature_layer=True)
+    )
+    return specs

@@ -1,0 +1,153 @@
+"""The declarative Vista API (Section 3.3, Figure 13).
+
+Users state *what* to run — a roster CNN, how many feature layers to
+explore, the downstream routine, the data, and the cluster resources —
+and Vista decides *how*: it invokes the optimizer to pick the system
+configuration, configures the (simulated) PD backend accordingly, and
+executes its Staged plan, returning one trained downstream model per
+explored layer.
+"""
+
+from __future__ import annotations
+
+from repro.cnn.zoo import build_model, get_model_stats
+from repro.core.config import (
+    DatasetStats,
+    DownstreamSpec,
+    Resources,
+    SystemDefaults,
+)
+from repro.core.executor import FeatureTransferExecutor
+from repro.core.optimizer import optimize
+from repro.core.plans import STAGED
+from repro.core.sizing import estimate_sizes
+from repro.dataflow.context import ClusterContext
+from repro.memory.ignite import ignite_memory_budget
+from repro.memory.model import GB
+from repro.memory.spark import spark_budget_from_regions
+
+
+class Vista:
+    """Declarative feature transfer from deep CNNs.
+
+    Example
+    -------
+    >>> from repro.data import foods_dataset
+    >>> from repro.core.config import Resources
+    >>> from repro.memory.model import GB
+    >>> vista = Vista(
+    ...     model_name="alexnet", num_layers=4,
+    ...     dataset=foods_dataset(num_records=64),
+    ...     resources=Resources(num_nodes=2,
+    ...                         system_memory_bytes=32 * GB,
+    ...                         cores_per_node=8),
+    ... )
+    >>> result = vista.run()
+    >>> sorted(result.layer_results)
+    ['conv5', 'fc6', 'fc7', 'fc8']
+    """
+
+    def __init__(self, model_name, num_layers, dataset, resources,
+                 downstream_fn=None, downstream_spec=None, backend="spark",
+                 model_profile="mini", plan=STAGED, defaults=None,
+                 dataset_stats=None, model_seed=0):
+        self.model_name = model_name
+        self.model_stats = get_model_stats(model_name)
+        self.layers = self.model_stats.top_feature_layers(num_layers)
+        self.dataset = dataset
+        self.resources = resources
+        self.downstream_fn = downstream_fn
+        self.downstream_spec = downstream_spec or DownstreamSpec()
+        if backend not in ("spark", "ignite"):
+            raise ValueError(
+                f"backend must be 'spark' or 'ignite', got {backend!r}"
+            )
+        self.backend = backend
+        self.model_profile = model_profile
+        self.plan = plan
+        self.defaults = defaults or SystemDefaults()
+        self.dataset_stats = dataset_stats or self._infer_dataset_stats()
+        self.model_seed = model_seed
+        self._config = None
+
+    def _infer_dataset_stats(self):
+        image = self.dataset.image_rows[0]["image"]
+        return DatasetStats(
+            num_records=len(self.dataset),
+            num_structured_features=self.dataset.num_structured_features,
+            avg_image_bytes=int(image.nbytes),
+        )
+
+    # ------------------------------------------------------------------
+    def optimize(self):
+        """Run Algorithm 1; returns the chosen :class:`VistaConfig`."""
+        self._config = optimize(
+            self.model_stats, self.layers, self.dataset_stats,
+            self.resources, downstream=self.downstream_spec,
+            defaults=self.defaults, backend=self.backend,
+        )
+        return self._config
+
+    def sizing(self):
+        """Eq. 16 size estimates for this workload's intermediates."""
+        return estimate_sizes(
+            self.model_stats, self.layers, self.dataset_stats,
+            alpha=self.defaults.alpha,
+        )
+
+    def build_context(self, config=None):
+        """Configure the simulated PD backend per the optimizer."""
+        config = config or self._config or self.optimize()
+        if self.backend == "spark":
+            budget = spark_budget_from_regions(
+                self.resources.system_memory_bytes,
+                user_bytes=config.mem_user_bytes,
+                core_bytes=self.defaults.core_memory_bytes,
+                storage_bytes=config.mem_storage_bytes,
+                os_reserved_bytes=self.defaults.os_reserved_bytes,
+            )
+        else:
+            heap = config.mem_user_bytes + self.defaults.core_memory_bytes
+            budget = ignite_memory_budget(
+                self.resources.system_memory_bytes,
+                heap_bytes=heap,
+                storage_bytes=config.mem_storage_bytes,
+                os_reserved_bytes=self.defaults.os_reserved_bytes,
+            )
+        return ClusterContext(
+            budget,
+            num_nodes=self.resources.num_nodes,
+            cores_per_node=self.resources.cores_per_node,
+            cpu=config.cpu,
+        )
+
+    def run(self, plan=None, premat_layer=None, context=None,
+            feature_store=None):
+        """Optimize, configure, and execute the workload end to end.
+
+        ``feature_store`` (a :class:`~repro.features.store.FeatureStore`)
+        lets ``premat_layer`` reuse base features materialized by an
+        earlier session. Returns a
+        :class:`~repro.core.executor.WorkloadResult` with one trained
+        downstream model per explored feature layer.
+        """
+        config = self._config or self.optimize()
+        context = context or self.build_context(config)
+        cnn = build_model(
+            self.model_name, profile=self.model_profile, seed=self.model_seed
+        )
+        executor = FeatureTransferExecutor(
+            context, cnn, self.dataset, self.layers, config,
+            downstream_fn=self.downstream_fn, feature_store=feature_store,
+        )
+        return executor.run(plan or self.plan, premat_layer=premat_layer)
+
+
+def default_resources(num_nodes=8, system_gb=32, cores=8, gpu_gb=0):
+    """The paper's CloudLab worker spec: 32 GB RAM, 8 cores per node."""
+    return Resources(
+        num_nodes=num_nodes,
+        system_memory_bytes=int(system_gb * GB),
+        cores_per_node=cores,
+        gpu_memory_bytes=int(gpu_gb * GB),
+    )

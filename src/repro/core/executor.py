@@ -1,0 +1,395 @@
+"""Plan executor: runs any logical plan on the dataflow + CNN engines.
+
+This is Vista's runtime. Given a cluster context, an executable CNN,
+the two data tables, and a :class:`VistaConfig`, it executes a
+:class:`LogicalPlan` end to end — (partial) CNN inference as
+MapPartitions UDFs, the Tstr-Timg key-key join with the configured
+physical operator, intermediate caching under the configured
+persistence format, and downstream training per feature layer — while
+metering FLOPs, shuffles, spills, and region peaks, and surfacing the
+Section 4.1 crash scenarios as exceptions.
+
+All plans produce bit-identical per-layer feature matrices (the paper:
+"All approaches ... yield identical downstream models"); tests assert
+this invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.plans import JoinPlacement, Materialization
+from repro.dataflow.executor import charge_model_replicas
+from repro.dataflow.joins import join as physical_join
+from repro.dataflow.table import DistributedTable
+from repro.features.pooling import pool_feature_tensor
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import f1_score
+from repro.tensor.tensorlist import TensorList
+
+
+def estimate_model_mem_bytes(cnn, blowup=3.0):
+    """Runtime footprint estimate of an executable CNN: parameter bytes
+    times a blowup factor (serialized formats underestimate in-memory
+    footprints — Section 4.1, issue (1))."""
+    param_bytes = 0
+    for op in cnn.layers:
+        if hasattr(op, "param_count"):  # composite bottleneck blocks
+            param_bytes += 4 * op.param_count()
+            continue
+        for attr in ("weights", "bias"):
+            value = getattr(op, attr, None)
+            if isinstance(value, np.ndarray):
+                param_bytes += value.nbytes
+    return int(blowup * max(param_bytes, 1))
+
+
+def default_downstream(features, labels):
+    """The paper's default M: elastic-net logistic regression for 10
+    iterations; returns the model and its training-set F1."""
+    model = LogisticRegression().fit(features, labels)
+    return {
+        "model": model,
+        "f1_train": f1_score(labels, model.predict(features)),
+    }
+
+
+class LayerResult:
+    """Downstream outcome for one feature layer."""
+
+    def __init__(self, layer, feature_dim, downstream):
+        self.layer = layer
+        self.feature_dim = feature_dim
+        self.downstream = downstream
+
+    def __repr__(self):
+        return f"<LayerResult {self.layer}: dim={self.feature_dim}>"
+
+
+class WorkloadResult:
+    """Result of one feature-transfer workload run."""
+
+    def __init__(self, plan, layer_results, metrics):
+        self.plan = plan
+        self.layer_results = layer_results  # layer name -> LayerResult
+        self.metrics = metrics
+
+    def __repr__(self):
+        return (
+            f"<WorkloadResult {self.plan}: layers="
+            f"{list(self.layer_results)}>"
+        )
+
+
+class FeatureTransferExecutor:
+    """Executes the feature transfer workload under a logical plan.
+
+    Parameters
+    ----------
+    context:
+        A :class:`~repro.dataflow.context.ClusterContext`; its workers'
+        budgets decide whether the run spills, crashes, or sails.
+    cnn:
+        An executable :class:`~repro.cnn.network.CNN`.
+    dataset:
+        A :class:`~repro.data.synthetic.MultimodalDataset`.
+    layers:
+        Ordered feature layers (lowest first) to transfer.
+    config:
+        A :class:`~repro.core.config.VistaConfig`; picks np, the join
+        operator, and the persistence format.
+    downstream_fn:
+        ``fn(features, labels) -> result``; defaults to the paper's
+        logistic regression.
+    model_mem_bytes:
+        Per-replica DL memory charge; defaults to an estimate from the
+        executable model's parameters.
+    """
+
+    def __init__(self, context, cnn, dataset, layers, config,
+                 downstream_fn=None, model_mem_bytes=None, pool_grid=2,
+                 user_alpha=2.0, feature_store=None):
+        self.context = context
+        self.cnn = cnn
+        self.dataset = dataset
+        self.layers = list(layers)
+        self.config = config
+        self.downstream_fn = downstream_fn or default_downstream
+        self.model_mem_bytes = (
+            model_mem_bytes
+            if model_mem_bytes is not None
+            else estimate_model_mem_bytes(cnn)
+        )
+        self.pool_grid = pool_grid
+        self.user_alpha = user_alpha
+        self.feature_store = feature_store
+        self.metrics = {}
+        np_ = config.num_partitions
+        self.tstr = DistributedTable.from_rows(
+            context, dataset.structured_rows, np_, name="t_str"
+        )
+        self.timg = DistributedTable.from_rows(
+            context, dataset.image_rows, np_, name="t_img"
+        )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, plan, premat_layer=None):
+        """Execute ``plan``; optionally start inference from a
+        pre-materialized base feature layer (Appendix B)."""
+        self.metrics = {
+            "plan": plan.label,
+            "inference_flops": 0,
+            "premat_flops": 0,
+        }
+        self.context.reset_metrics()
+        self.context.shuffle_bytes_total = 0
+        source_table, source_layer = self.timg, None
+        source_field = "image"
+        if premat_layer is not None:
+            source_table = self._prematerialize(premat_layer)
+            source_layer = premat_layer
+            source_field = "tensor"
+        runner = {
+            Materialization.LAZY: self._run_lazy,
+            Materialization.EAGER: self._run_eager,
+            Materialization.STAGED: self._run_staged,
+        }[plan.materialization]
+        layer_results = runner(
+            plan, source_table, source_field, source_layer
+        )
+        self._finalize_metrics()
+        return WorkloadResult(plan.label, layer_results, dict(self.metrics))
+
+    # ------------------------------------------------------------------
+    # plan implementations
+    # ------------------------------------------------------------------
+    def _run_lazy(self, plan, source, source_field, source_layer):
+        results = {}
+        after_join = plan.join_placement is JoinPlacement.AFTER_JOIN
+        base = self._join(self.tstr, source) if after_join else source
+        for layer in self.layers:
+            features = self._inference_map(
+                base, source_field, source_layer, layer,
+                keep=("features", "label") if after_join else (),
+            )
+            train_table = (
+                features if after_join else self._join(self.tstr, features)
+            )
+            results[layer] = self._train(train_table, layer)
+        return results
+
+    def _run_eager(self, plan, source, source_field, source_layer):
+        all_layers = self.layers
+        sample = source.partitions[0].rows()
+        if sample and isinstance(sample[0].get(source_field), TensorList):
+            raise NotImplementedError(
+                "Eager materialization with multiple images per record "
+                "is not supported (it would need nested TensorLists); "
+                "use the Lazy or Staged plans"
+            )
+
+        def materialize_all(row):
+            out = {"id": row["id"]}
+            for field in ("features", "label"):
+                if field in row:
+                    out[field] = row[field]
+            tensors = []
+            current = row[source_field]
+            previous = source_layer
+            for layer in all_layers:
+                current = self.cnn.partial_forward(
+                    current, previous or 0, layer
+                )
+                tensors.append(current)
+                previous = layer
+            out["tensors"] = TensorList(tensors)
+            return out
+
+        base = source
+        if plan.join_placement is JoinPlacement.AFTER_JOIN:
+            base = self._join(self.tstr, source)
+        release = charge_model_replicas(
+            self.context, self.model_mem_bytes
+        )
+        try:
+            eager_table = base.map_rows(
+                materialize_all, name="t_eager", user_alpha=self.user_alpha
+            )
+        finally:
+            release()
+        self._meter_inference(base.num_rows(), source_layer, all_layers[-1])
+        if plan.join_placement is JoinPlacement.BEFORE_JOIN:
+            eager_table = self._join(self.tstr, eager_table)
+        # The all-layers table must persist across |L| training runs —
+        # this cache is where Eager crashes (Ignite) or spills (Spark).
+        eager_table.cache(self.config.persistence)
+        results = {}
+        try:
+            for position, layer in enumerate(all_layers):
+                projected = eager_table.map_rows(
+                    lambda row, p=position: {
+                        "id": row["id"],
+                        "features": row["features"],
+                        "label": row["label"],
+                        "tensor": row["tensors"][p],
+                    },
+                    user_alpha=self.user_alpha,
+                )
+                results[layer] = self._train(projected, layer)
+        finally:
+            eager_table.unpersist()
+        return results
+
+    def _run_staged(self, plan, source, source_field, source_layer):
+        results = {}
+        after_join = plan.join_placement is JoinPlacement.AFTER_JOIN
+        current = self._join(self.tstr, source) if after_join else source
+        current_field = source_field
+        previous_layer = source_layer
+        previous_table = None
+        for layer in self.layers:
+            current = self._inference_map(
+                current, current_field, previous_layer, layer,
+                keep=("features", "label") if after_join else (),
+            )
+            current.cache(self.config.persistence)
+            if previous_table is not None:
+                previous_table.unpersist()
+            if after_join:
+                train_table = current
+            else:
+                train_table = self._join(self.tstr, current)
+            results[layer] = self._train(train_table, layer)
+            previous_table = current
+            current_field = "tensor"
+            previous_layer = layer
+        if previous_table is not None:
+            previous_table.unpersist()
+        return results
+
+    # ------------------------------------------------------------------
+    # building blocks
+    # ------------------------------------------------------------------
+    def _prematerialize(self, layer):
+        """Materialize a base feature layer from raw images once
+        (Appendix B); its FLOPs are metered separately.
+
+        With a :class:`~repro.features.store.FeatureStore` attached,
+        previously stored features for (model, layer, dataset) are
+        reused — the cross-session workflow Appendix B motivates —
+        and fresh materializations are persisted for next time.
+        """
+        from repro.dataflow.table import DistributedTable
+
+        if self.feature_store is not None:
+            from repro.features.store import dataset_fingerprint
+
+            fingerprint = dataset_fingerprint(self.dataset)
+            rows = self.feature_store.get(self.cnn.name, layer, fingerprint)
+            if rows is not None:
+                self.metrics["premat_store_hit"] = True
+                return DistributedTable.from_rows(
+                    self.context, rows, self.config.num_partitions,
+                    name=f"t_premat_{layer}",
+                )
+        table = self._inference_map(self.timg, "image", None, layer)
+        flops = self.cnn.flops_between(0, layer) * self.timg.num_rows()
+        self.metrics["premat_flops"] += flops
+        self.metrics["inference_flops"] -= flops
+        if self.feature_store is not None:
+            self.feature_store.put(
+                self.cnn.name, layer, fingerprint, table.collect()
+            )
+            self.metrics["premat_store_hit"] = False
+        return table
+
+    def _inference_map(self, table, field, from_layer, to_layer, keep=()):
+        """Partial CNN inference ``f̂_{from→to}`` as a per-row UDF,
+        with DL replica charges held for the duration."""
+        def infer_one(value):
+            # Multiple images per record (TensorList column) run the
+            # CNN per member — the paper's future-work extension.
+            if isinstance(value, TensorList):
+                return TensorList([
+                    self.cnn.partial_forward(t, from_layer or 0, to_layer)
+                    for t in value
+                ])
+            return self.cnn.partial_forward(
+                value, from_layer or 0, to_layer
+            )
+
+        def infer(row):
+            out = {"id": row["id"]}
+            for extra in keep:
+                if extra in row:
+                    out[extra] = row[extra]
+            out["tensor"] = infer_one(row[field])
+            return out
+
+        release = charge_model_replicas(self.context, self.model_mem_bytes)
+        try:
+            result = table.map_rows(
+                infer, name=f"t_{to_layer}", user_alpha=self.user_alpha
+            )
+        finally:
+            release()
+        self._meter_inference(table.num_rows(), from_layer, to_layer)
+        return result
+
+    def _meter_inference(self, num_rows, from_layer, to_layer):
+        flops = self.cnn.flops_between(
+            from_layer or 0, to_layer
+        ) * num_rows
+        self.metrics["inference_flops"] += flops
+
+    def _join(self, left, right):
+        return physical_join(
+            left, right, how=self.config.join,
+            num_partitions=self.config.num_partitions,
+        )
+
+    def _train(self, table, layer):
+        """Concatenate structured + pooled image features and hand the
+        matrix to the downstream routine at the driver."""
+        grid = self.pool_grid
+
+        def vectorize(row):
+            tensor = row["tensor"]
+            if isinstance(tensor, TensorList):
+                pooled = np.concatenate([
+                    pool_feature_tensor(t, grid=grid) for t in tensor
+                ])
+            else:
+                pooled = pool_feature_tensor(tensor, grid=grid)
+            return {
+                "id": row["id"],
+                "label": row["label"],
+                "x": np.concatenate(
+                    [np.asarray(row["features"], dtype=np.float32), pooled]
+                ),
+            }
+
+        vectors = table.map_rows(vectorize, user_alpha=self.user_alpha)
+        rows = vectors.collect()
+        rows.sort(key=lambda row: row["id"])
+        features = np.stack([row["x"] for row in rows])
+        labels = np.array([row["label"] for row in rows], dtype=np.int64)
+        outcome = self.downstream_fn(features, labels)
+        return LayerResult(layer, features.shape[1], outcome)
+
+    def _finalize_metrics(self):
+        context = self.context
+        self.metrics.update(
+            {
+                "shuffle_bytes": getattr(context, "shuffle_bytes_total", 0),
+                "spilled_bytes": context.total_spilled_bytes(),
+                "spill_read_bytes": context.total_spill_read_bytes(),
+                "tasks_run": sum(w.tasks_run for w in context.workers),
+                "storage_peak_bytes": max(
+                    (w.storage.peak_bytes for w in context.workers),
+                    default=0,
+                ),
+            }
+        )

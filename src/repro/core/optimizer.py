@@ -1,0 +1,183 @@
+"""The Vista optimizer — Algorithm 1 of the paper.
+
+Given the user's inputs (Table 1A) the optimizer linear-searches the
+per-worker degree of parallelism ``cpu`` downward from
+``min(cpu_sys, cpu_max) - 1``, and for each candidate checks the
+memory constraints of Eqs. 9-15:
+
+  - Eq. 10: User Memory must hold the serialized CNN plus each
+    concurrent task's feature partition (times the blowup factor
+    alpha), or the downstream models if M runs in PD User Memory.
+  - Eq. 11: DL Execution Memory holds ``cpu`` CNN replicas (and M's
+    replicas when M is a DL model).
+  - Eq. 12: all regions fit in System Memory.
+  - Eq. 13-14: ``np`` is a multiple of total worker processes and
+    bounds partitions to ``p_max``.
+  - Eq. 15: on GPUs, ``cpu`` model replicas fit in GPU memory.
+
+The surviving candidate with the largest ``cpu`` wins (Eq. 8's
+simplified objective); remaining variables are then set: Storage gets
+the leftover worker memory, the join is broadcast iff |Tstr| fits
+``b_max``, and persistence downgrades to serialized when Storage
+cannot hold two consecutive intermediates (s_double).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.config import (
+    DownstreamSpec,
+    SystemDefaults,
+    VistaConfig,
+)
+from repro.core.sizing import estimate_sizes
+from repro.dataflow.joins import BROADCAST, SHUFFLE
+from repro.dataflow.partition import DESERIALIZED, SERIALIZED
+from repro.exceptions import NoFeasiblePlan
+
+
+#: Per-thread inference input buffer: a batch of 32 decoded 227x227x3
+#: float32 image tensors ("buffers to read inputs" — Section 4.1 (2)).
+BATCH_INPUT_BYTES = 32 * 227 * 227 * 3 * 4
+
+#: |M|_mem model: a base footprint plus bytes proportional to the
+#: feature dimension ("|M| is proportional to the sum of structured
+#: features and the maximum number of CNN features for any layer").
+DOWNSTREAM_BASE_BYTES = 64 * 1024 * 1024
+DOWNSTREAM_BYTES_PER_FEATURE = 32 * 1024
+
+
+def downstream_mem_bytes(model_stats, layers, num_structured_features):
+    """Estimate |M|_mem for the default MLlib-style downstream model."""
+    max_dim = max(
+        model_stats.layer_stats(layer).transfer_dim for layer in layers
+    )
+    return DOWNSTREAM_BASE_BYTES + DOWNSTREAM_BYTES_PER_FEATURE * (
+        num_structured_features + max_dim
+    )
+
+
+def user_memory_requirement(model_stats, s_single, num_partitions, cpu,
+                            downstream_mem, alpha):
+    """Eq. 10's User Memory requirement, shared by the optimizer and
+    the cost model's crash checks so the two can never disagree.
+
+    We take the *sum* of the inference-side objects (serialized CNN,
+    per-thread input batch buffers, per-thread feature partitions) and
+    the downstream-model copies rather than Eq. 10's max(): the feature
+    TensorLists and M's representations coexist during training, so the
+    sum is the safe bound (and it is what makes Ignite's small on-heap
+    User region crash at 7 threads in Figure 6).
+    """
+    partition_bytes = math.ceil(s_single / max(1, num_partitions))
+    return (
+        model_stats.serialized_bytes
+        + cpu * alpha * partition_bytes
+        + cpu * alpha * BATCH_INPUT_BYTES
+        + cpu * downstream_mem
+    )
+
+
+def num_partitions_for(s_single, cpu, num_nodes, max_partition_bytes):
+    """``NumPartitions`` of Algorithm 1: the smallest multiple of the
+    total core count whose partitions fit under ``p_max`` (Eqs. 13-14)."""
+    total_cores = cpu * num_nodes
+    multiples = math.ceil(s_single / (max_partition_bytes * total_cores))
+    return max(1, multiples) * total_cores
+
+
+def optimize(model_stats, layers, dataset_stats, resources,
+             downstream=None, defaults=None, backend="spark"):
+    """Run Algorithm 1 and return a :class:`VistaConfig`.
+
+    Raises :class:`NoFeasiblePlan` when System Memory cannot satisfy
+    the constraints for any ``cpu`` (line 18 of Algorithm 1).
+
+    ``backend="ignite"`` adds one constraint beyond the paper's
+    algorithm: Ignite's memory-only Storage region is static and cannot
+    spill, so the Staged plan's largest cached stage (under the chosen
+    persistence format) must fit cluster-wide Storage — otherwise the
+    candidate ``cpu`` is rejected (lower cpu frees more Storage) and
+    ultimately NoFeasiblePlan is raised.
+    """
+    downstream = downstream or DownstreamSpec()
+    defaults = defaults or SystemDefaults()
+    sizing = estimate_sizes(
+        model_stats, layers, dataset_stats, alpha=defaults.alpha
+    )
+    f_mem = model_stats.runtime_mem_bytes
+    m_mem = downstream.mem_bytes
+    if m_mem is None:
+        m_mem = downstream_mem_bytes(
+            model_stats, layers, dataset_stats.num_structured_features
+        )
+
+    upper = min(resources.cores_per_node, defaults.cpu_max) - 1
+    for cpu in range(max(1, upper), 0, -1):
+        if not _gpu_feasible(cpu, model_stats, downstream, resources):
+            continue
+        np_ = num_partitions_for(
+            sizing.s_single, cpu, resources.num_nodes,
+            defaults.max_partition_bytes,
+        )
+        mem_worker = (
+            resources.system_memory_bytes
+            - defaults.os_reserved_bytes
+            - _dl_memory(cpu, f_mem, downstream, m_mem)
+        )
+        mem_user = user_memory_requirement(
+            model_stats, sizing.s_single, np_, cpu, m_mem, defaults.alpha
+        )
+        if mem_worker - mem_user > defaults.core_memory_bytes:
+            mem_storage = int(
+                mem_worker - mem_user - defaults.core_memory_bytes
+            )
+            join = (
+                BROADCAST
+                if sizing.structured_table_bytes < defaults.max_broadcast_bytes
+                else SHUFFLE
+            )
+            storage_per_cluster = mem_storage * resources.num_nodes
+            persistence = (
+                SERIALIZED if storage_per_cluster < sizing.s_double
+                else DESERIALIZED
+            )
+            if backend == "ignite":
+                from repro.core.sizing import static_storage_need
+
+                needed = static_storage_need(
+                    sizing.s_single, persistence,
+                    model_stats.serialized_ratio, alpha=defaults.alpha,
+                )
+                if needed > storage_per_cluster:
+                    continue  # lower cpu frees more Storage
+            return VistaConfig(
+                cpu=cpu,
+                num_partitions=np_,
+                mem_storage_bytes=mem_storage,
+                mem_user_bytes=int(mem_user),
+                mem_dl_bytes=_dl_memory(cpu, f_mem, downstream, m_mem),
+                join=join,
+                persistence=persistence,
+            )
+    raise NoFeasiblePlan(
+        f"no cpu in [1, {max(1, upper)}] satisfies the memory constraints "
+        f"for {model_stats.name} on {resources.system_memory_bytes} B nodes; "
+        "provision machines with more memory"
+    )
+
+
+def _dl_memory(cpu, f_mem, downstream, m_mem):
+    """Eq. 11: DL Execution Memory requirement."""
+    if downstream.in_dl_system:
+        return cpu * max(f_mem, m_mem)
+    return cpu * f_mem
+
+
+def _gpu_feasible(cpu, model_stats, downstream, resources):
+    """Eq. 15: GPU memory constraint (vacuously true without a GPU)."""
+    if not resources.has_gpu:
+        return True
+    per_replica = max(model_stats.gpu_mem_bytes, downstream.gpu_mem_bytes)
+    return cpu * per_replica < resources.gpu_memory_bytes

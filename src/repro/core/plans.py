@@ -1,0 +1,94 @@
+"""Logical execution plans (Section 4.2.1, Figure 5).
+
+The five plans the paper compares factor into two orthogonal choices:
+
+  materialization x join placement
+  -------------------------------------------------------------
+  Lazy   / join after inference   = Figure 5(A)  "Lazy"
+  Lazy   / join before inference  = Figure 5(B)  "Lazy-Reordered"
+  Eager  / join after inference   = Figure 5(C)  "Eager"
+  Eager  / join before inference  = Figure 5(D)  "Eager-Reordered"
+  Staged / join before inference  = Figure 5(E)  "Staged" (Vista)
+
+Section 5.3 labels join placement from the inference side: "AJ"
+(inference After Join, i.e. the join is pulled below inference) and
+"BJ" (inference Before Join). Vista's default — validated by Figure 9
+— is Staged/AJ.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Materialization(enum.Enum):
+    """How feature layers are materialized across L."""
+
+    LAZY = "lazy"       # one independent full-inference pass per layer
+    EAGER = "eager"     # all layers in one pass, held at once
+    STAGED = "staged"   # partial inference staged layer-to-layer
+
+
+class JoinPlacement(enum.Enum):
+    """Where the Tstr-Timg key-key join sits relative to inference."""
+
+    AFTER_JOIN = "aj"    # join first, inference on the joined table
+    BEFORE_JOIN = "bj"   # inference first, join features afterwards
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """One point in the logical plan space."""
+
+    materialization: Materialization
+    join_placement: JoinPlacement
+
+    @property
+    def label(self):
+        return f"{self.materialization.value}/{self.join_placement.value}"
+
+    def __str__(self):
+        return self.label
+
+
+#: The paper's five named plans.
+LAZY = LogicalPlan(Materialization.LAZY, JoinPlacement.BEFORE_JOIN)
+LAZY_REORDERED = LogicalPlan(Materialization.LAZY, JoinPlacement.AFTER_JOIN)
+EAGER = LogicalPlan(Materialization.EAGER, JoinPlacement.BEFORE_JOIN)
+EAGER_REORDERED = LogicalPlan(Materialization.EAGER, JoinPlacement.AFTER_JOIN)
+STAGED = LogicalPlan(Materialization.STAGED, JoinPlacement.AFTER_JOIN)
+STAGED_BJ = LogicalPlan(Materialization.STAGED, JoinPlacement.BEFORE_JOIN)
+
+ALL_PLANS = {
+    "lazy": LAZY,
+    "lazy-reordered": LAZY_REORDERED,
+    "eager": EAGER,
+    "eager-reordered": EAGER_REORDERED,
+    "staged": STAGED,
+    "staged-bj": STAGED_BJ,
+}
+
+
+def plan_by_name(name):
+    try:
+        return ALL_PLANS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown plan {name!r}; choose from {sorted(ALL_PLANS)}"
+        ) from None
+
+
+def redundant_flops(model_stats, layers):
+    """Computational redundancy of Lazy relative to Staged (Sec. 4.2.1):
+    FLOPs Lazy spends that Staged avoids by fusing the |L| queries.
+
+    Lazy runs full inference from the raw image to every layer; Staged
+    pays for the deepest layer's path exactly once.
+    """
+    layers = list(layers)
+    lazy = sum(
+        model_stats.layer_stats(layer).flops_from_input for layer in layers
+    )
+    staged = model_stats.layer_stats(layers[-1]).flops_from_input
+    return lazy - staged

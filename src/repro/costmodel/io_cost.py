@@ -1,0 +1,73 @@
+"""I/O and scheduling cost terms.
+
+Covers the non-compute runtime components the paper's drill-downs
+attribute time to: HDFS small-files image reads (Table 3, Figure 17),
+join shuffles vs broadcasts (Figure 10), disk spills of oversized
+intermediates (Figures 6/9), serialized-format conversion overhead
+(Figure 10), and task-scheduling overheads including the np > 2000
+status-compression penalty (Figure 11B).
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import params
+
+
+def image_read_seconds(num_images, cluster):
+    """Reading many small image files from HDFS: per-file latency
+    dominated, sub-linear in node count."""
+    single_node = num_images * cluster.image_read_seconds_per_file
+    return single_node / (cluster.num_nodes ** params.READ_SCALING_EXPONENT)
+
+
+def shuffle_seconds(shuffled_bytes, cluster):
+    """Hash-shuffle of ``shuffled_bytes`` across the cluster."""
+    return shuffled_bytes / (cluster.network_bandwidth * cluster.num_nodes)
+
+
+def broadcast_seconds(table_bytes, cluster):
+    """Broadcasting a table: every worker pulls one full copy."""
+    return table_bytes / cluster.network_bandwidth
+
+
+def spill_seconds(spilled_bytes, cluster, reread_passes=1):
+    """Writing spilled partitions to disk and reading them back
+    ``reread_passes`` times."""
+    total = spilled_bytes * (1 + reread_passes)
+    return total / (cluster.disk_bandwidth * cluster.num_nodes)
+
+
+def serde_seconds(data_bytes, cluster, cpu):
+    """CPU cost of converting between serialized and deserialized
+    formats (both directions included by the caller via data_bytes)."""
+    throughput = (
+        params.SERDE_BANDWIDTH_PER_CORE * cpu * cluster.num_nodes
+    )
+    return data_bytes / throughput
+
+
+def task_overhead_seconds(num_tasks, num_partitions, cluster, cpu):
+    """Scheduling overhead of ``num_tasks`` tasks, with the large-np
+    status-message penalty once np exceeds the threshold."""
+    per_task = params.TASK_OVERHEAD_S
+    if num_partitions > params.LARGE_NP_THRESHOLD:
+        per_task += params.TASK_OVERHEAD_LARGE_NP_S
+    waves = num_tasks / max(1, cluster.num_nodes * cpu)
+    # Scheduling is driver-serialized per task; execution overlaps.
+    return num_tasks * per_task * 0.25 + waves * per_task
+
+
+def training_seconds(num_records, feature_dim, num_partitions, cluster,
+                     cpu, iterations=None):
+    """Downstream model training: ``iterations`` full-batch passes over
+    the (records x features) matrix plus per-iteration stage costs."""
+    iterations = iterations or params.TRAIN_ITERATIONS
+    flops = (
+        iterations * params.TRAIN_FLOPS_PER_CELL * num_records * feature_dim
+    )
+    compute = flops / (params.NODE_FLOPS_BASE * cluster.num_nodes)
+    overhead = iterations * (
+        params.TRAIN_ITERATION_OVERHEAD_S
+        + task_overhead_seconds(num_partitions, num_partitions, cluster, cpu)
+    )
+    return compute + overhead

@@ -1,0 +1,274 @@
+"""End-to-end runtime estimation for paper-scale workloads.
+
+Combines the compute, I/O, and scheduling cost terms into one
+wall-clock estimate per (plan, setup, cluster, dataset), with crash
+detection applied first. Runtime *shapes* — which plan wins, by what
+factor, where spills and crossovers appear — derive from the same
+mechanisms the paper argues from; the absolute constants are
+calibrated to the paper's measured anchors (see
+:mod:`repro.costmodel.params`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.plans import JoinPlacement, Materialization
+from repro.core.sizing import eager_table_bytes, estimate_sizes
+from repro.costmodel import io_cost, params
+from repro.costmodel.cnn_cost import (
+    inference_seconds,
+    per_layer_inference_flops,
+    plan_inference_flops,
+)
+from repro.costmodel.crashes import detect_crash
+
+
+@dataclass
+class RuntimeReport:
+    """Estimated outcome of one workload run."""
+
+    label: str
+    seconds: float
+    crash: str | None = None
+    breakdown: dict = field(default_factory=dict)
+    spilled_bytes: int = 0
+
+    @property
+    def crashed(self):
+        return self.crash is not None
+
+    @property
+    def minutes(self):
+        return self.seconds / 60.0
+
+    def cell(self):
+        """Figure-6-style cell: minutes, or 'X' on a crash."""
+        return "X" if self.crashed else f"{self.minutes:.1f}"
+
+
+def _pooled_dim(model_stats, layer):
+    return model_stats.layer_stats(layer).transfer_dim
+
+
+def _train_partitions(model_stats, layer, dataset_stats, setup, cluster):
+    """Partition count of the pooled training table for one layer."""
+    from repro.core.config import DEFAULT_MAX_PARTITION
+
+    pooled_bytes = (
+        4 * (dataset_stats.num_structured_features
+             + _pooled_dim(model_stats, layer))
+        * dataset_stats.num_records
+    )
+    by_size = math.ceil(pooled_bytes / DEFAULT_MAX_PARTITION)
+    floor = cluster.num_nodes * setup.cpu
+    return max(floor, min(setup.num_partitions, by_size))
+
+
+def _spill_report(materialization, model_stats, layers, dataset_stats,
+                  setup, cluster, alpha):
+    """Spilled bytes and the number of re-read passes over them."""
+    if not setup.storage_spills:
+        return 0, 0
+    storage_cluster = setup.storage_cap_bytes * cluster.num_nodes
+    if setup.persistence == "serialized":
+        # Serialized data drops the JVM-object blowup and compresses.
+        scale = params.SERIALIZED_RATIO.get(model_stats.name, 0.45) / alpha
+    else:
+        scale = 1.0
+    if materialization is Materialization.EAGER:
+        cached = eager_table_bytes(
+            model_stats, layers, dataset_stats, alpha=alpha
+        ) * scale
+        passes = len(list(layers))  # re-projected once per layer
+    elif materialization is Materialization.STAGED:
+        sizing = estimate_sizes(
+            model_stats, layers, dataset_stats, alpha=alpha
+        )
+        cached = sizing.s_double * scale
+        passes = 1
+    else:
+        return 0, 0
+    return int(max(0.0, cached - storage_cluster)), passes
+
+
+def estimate_runtime(model_stats, layers, dataset_stats, plan, setup,
+                     cluster, use_gpu=False, base_layer=None,
+                     train_iterations=None, alpha=2.0, label=None):
+    """Estimate one workload run; returns a :class:`RuntimeReport`.
+
+    ``base_layer`` marks a pre-materialized starting layer (Appendix
+    B): inference paths start there and its feature table is read from
+    disk instead of the raw images.
+    """
+    layers = list(layers)
+    label = label or setup.label
+    crash = detect_crash(
+        setup, model_stats, layers, dataset_stats, plan.materialization,
+        cluster, alpha=alpha, use_gpu=use_gpu,
+    )  # same Eq. 10 arithmetic as the optimizer
+    if crash is not None:
+        return RuntimeReport(label=label, seconds=math.inf, crash=crash)
+
+    breakdown = {}
+
+    # -- input reading -------------------------------------------------
+    if base_layer is None:
+        breakdown["read"] = io_cost.image_read_seconds(
+            dataset_stats.num_records, cluster
+        )
+    else:
+        base_bytes = (
+            model_stats.materialized_bytes(base_layer)
+            * dataset_stats.num_records
+        )
+        breakdown["read"] = base_bytes / (
+            cluster.disk_bandwidth * cluster.num_nodes
+        )
+
+    # -- CNN inference ---------------------------------------------------
+    # Lazy re-reads its source once per explored layer.
+    if plan.materialization is Materialization.LAZY and len(layers) > 1:
+        breakdown["read"] *= len(layers)
+    flops = plan_inference_flops(
+        model_stats, layers, dataset_stats.num_records,
+        plan.materialization, base_layer=base_layer,
+    )
+    breakdown["inference"] = inference_seconds(
+        flops, model_stats.name, cluster, setup.cpu, use_gpu=use_gpu
+    )
+
+    # -- joins -----------------------------------------------------------
+    if plan.join_placement is JoinPlacement.AFTER_JOIN:
+        join_inputs = [
+            dataset_stats.structured_table_bytes()
+            + dataset_stats.image_table_bytes()
+        ]
+    else:
+        # Join pulled above inference: each layer's *unpooled*
+        # materialized feature table is a join operand — usually much
+        # larger than the compressed images, which is exactly why
+        # reordering the join below inference helps (Section 4.2.1).
+        join_inputs = [
+            dataset_stats.structured_table_bytes()
+            + model_stats.materialized_bytes(layer)
+            * dataset_stats.num_records
+            for layer in layers
+        ]
+    if setup.join == "broadcast":
+        breakdown["join"] = len(join_inputs) * io_cost.broadcast_seconds(
+            dataset_stats.structured_table_bytes(), cluster
+        )
+    else:
+        breakdown["join"] = sum(
+            io_cost.shuffle_seconds(nbytes, cluster)
+            for nbytes in join_inputs
+        )
+
+    # -- downstream training ----------------------------------------------
+    # Training iterates over the *pooled* feature table, which is far
+    # smaller than the unpooled stage tables, so its partition count is
+    # bounded by that table's size, not the inference np.
+    breakdown["train"] = sum(
+        io_cost.training_seconds(
+            dataset_stats.num_records,
+            dataset_stats.num_structured_features
+            + _pooled_dim(model_stats, layer),
+            _train_partitions(model_stats, layer, dataset_stats, setup,
+                              cluster),
+            cluster, setup.cpu,
+            iterations=train_iterations,
+        )
+        for layer in layers
+    )
+
+    # -- spills and persistence-format conversion --------------------------
+    spilled, passes = _spill_report(
+        plan.materialization, model_stats, layers, dataset_stats, setup,
+        cluster, alpha,
+    )
+    if spilled:
+        breakdown["spill"] = io_cost.spill_seconds(
+            spilled, cluster, reread_passes=passes
+        )
+    if setup.persistence == "serialized":
+        sizing = estimate_sizes(
+            model_stats, layers, dataset_stats, alpha=alpha
+        )
+        converted = 2 * sum(sizing.intermediate_table_bytes.values())
+        breakdown["serde"] = io_cost.serde_seconds(
+            converted, cluster, setup.cpu
+        )
+
+    # -- scheduling overhead ------------------------------------------------
+    stages = 1 + len(layers) + len(join_inputs)
+    breakdown["overhead"] = io_cost.task_overhead_seconds(
+        stages * setup.num_partitions, setup.num_partitions, cluster,
+        setup.cpu,
+    ) + stages * params.STAGE_OVERHEAD_S
+
+    return RuntimeReport(
+        label=label,
+        seconds=sum(breakdown.values()),
+        breakdown=breakdown,
+        spilled_bytes=spilled,
+    )
+
+
+def estimate_premat_runtime(model_stats, layers, dataset_stats, plan,
+                            setup, cluster, use_gpu=False, alpha=2.0,
+                            label=None):
+    """The "Lazy-N with Pre-mat" pattern: materialize the lowest layer
+    to disk first, then run the plan with that base layer as the
+    inference source. Returns (premat_report, main_report)."""
+    layers = list(layers)
+    base = layers[0]
+    premat_breakdown = {
+        "read": io_cost.image_read_seconds(
+            dataset_stats.num_records, cluster
+        ),
+        "inference": inference_seconds(
+            model_stats.layer_stats(base).flops_from_input
+            * dataset_stats.num_records,
+            model_stats.name, cluster, setup.cpu, use_gpu=use_gpu,
+        ),
+        "write": (
+            model_stats.materialized_bytes(base) * dataset_stats.num_records
+        ) / (cluster.disk_bandwidth * cluster.num_nodes),
+    }
+    premat = RuntimeReport(
+        label=f"{label or setup.label}:premat",
+        seconds=sum(premat_breakdown.values()),
+        breakdown=premat_breakdown,
+    )
+    main = estimate_runtime(
+        model_stats, layers, dataset_stats, plan, setup, cluster,
+        use_gpu=use_gpu, base_layer=base, alpha=alpha, label=label,
+    )
+    return premat, main
+
+
+def per_layer_breakdown(model_stats, layers, dataset_stats, setup, cluster,
+                        base_layer=None, use_gpu=False):
+    """Table 3's rows: per-layer inference + first-LR-iteration minutes
+    under the Staged plan, plus the image-read row."""
+    flops = per_layer_inference_flops(
+        model_stats, layers, dataset_stats.num_records,
+        Materialization.STAGED, base_layer=base_layer,
+    )
+    rows = {}
+    for layer, layer_flops in flops.items():
+        seconds = inference_seconds(
+            layer_flops, model_stats.name, cluster, setup.cpu,
+            use_gpu=use_gpu,
+        )
+        seconds += io_cost.training_seconds(
+            dataset_stats.num_records,
+            dataset_stats.num_structured_features
+            + _pooled_dim(model_stats, layer),
+            setup.num_partitions, cluster, setup.cpu, iterations=1,
+        )
+        rows[layer] = seconds
+    read = io_cost.image_read_seconds(dataset_stats.num_records, cluster)
+    return rows, read

@@ -1,0 +1,69 @@
+"""Semi-synthetic dataset scaling (Section 5.3).
+
+The drill-down experiments "alter [Foods] semi-synthetically ...
+vary the data scale by replicating records (say, '4X') or varying the
+number of structured features (with random values)". These helpers do
+exactly that on a :class:`MultimodalDataset`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic import MultimodalDataset
+
+
+def replicate_dataset(dataset, factor):
+    """Replicate records ``factor`` times with fresh unique ids."""
+    if factor < 1 or int(factor) != factor:
+        raise ValueError(f"scale factor must be a positive integer, got {factor}")
+    factor = int(factor)
+    base = len(dataset)
+    structured_rows = []
+    image_rows = []
+    for copy in range(factor):
+        offset = copy * base
+        for srow, irow in zip(dataset.structured_rows, dataset.image_rows):
+            structured_rows.append(
+                {
+                    "id": srow["id"] + offset,
+                    "features": srow["features"],
+                    "label": srow["label"],
+                }
+            )
+            image_rows.append(
+                {"id": irow["id"] + offset, "image": irow["image"]}
+            )
+    return MultimodalDataset(
+        name=f"{dataset.name}/{factor}X",
+        structured_rows=structured_rows,
+        image_rows=image_rows,
+        num_structured_features=dataset.num_structured_features,
+        image_shape=dataset.image_shape,
+    )
+
+
+def widen_structured_features(dataset, num_features, seed=0):
+    """Pad (with random values) or truncate structured vectors to
+    ``num_features`` dimensions."""
+    rng = np.random.default_rng(seed)
+    structured_rows = []
+    for row in dataset.structured_rows:
+        features = row["features"]
+        if num_features <= len(features):
+            widened = features[:num_features]
+        else:
+            extra = rng.normal(
+                0.0, 1.0, size=num_features - len(features)
+            ).astype(np.float32)
+            widened = np.concatenate([features, extra])
+        structured_rows.append(
+            {"id": row["id"], "features": widened, "label": row["label"]}
+        )
+    return MultimodalDataset(
+        name=f"{dataset.name}/{num_features}f",
+        structured_rows=structured_rows,
+        image_rows=dataset.image_rows,
+        num_structured_features=num_features,
+        image_shape=dataset.image_shape,
+    )

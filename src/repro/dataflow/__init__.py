@@ -1,0 +1,33 @@
+"""A miniature parallel-dataflow (PD) engine.
+
+This package is the reproduction's substitute for Spark/Ignite: it
+provides partitioned tables over key-value records, map /
+mapPartitions / project operators, shuffle-hash and broadcast joins,
+serialized and deserialized in-memory persistence with LRU eviction
+and disk spill, and per-worker memory accounting wired to the
+Section 4.1 crash scenarios.
+
+It deliberately implements only the PD abstractions the paper's plans
+and optimizer rely on (Figure 2A's left column) — structured data
+querying, distributed memory management, partitioning — in a single
+process with *simulated* workers, which keeps execution deterministic
+while preserving the memory-use behaviour Vista optimizes.
+"""
+
+from repro.dataflow.context import ClusterContext, Worker
+from repro.dataflow.joins import broadcast_join, shuffle_hash_join
+from repro.dataflow.partition import Partition
+from repro.dataflow.record import estimate_record_bytes
+from repro.dataflow.storage import StorageManager
+from repro.dataflow.table import DistributedTable
+
+__all__ = [
+    "ClusterContext",
+    "DistributedTable",
+    "Partition",
+    "StorageManager",
+    "Worker",
+    "broadcast_join",
+    "estimate_record_bytes",
+    "shuffle_hash_join",
+]

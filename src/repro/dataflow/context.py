@@ -1,0 +1,109 @@
+"""Cluster context: simulated workers, a driver, and their memory.
+
+A :class:`ClusterContext` models the paper's experimental setup — N
+worker nodes with a fixed core count and System Memory each, plus a
+driver — inside one process. Partitions of a table are assigned to
+workers by ``partition_index % num_nodes``, matching the round-robin
+block placement both Spark and Ignite default to.
+"""
+
+from __future__ import annotations
+
+from repro.memory.model import GB, MemoryAccountant
+from repro.dataflow.storage import StorageManager
+
+
+class Worker:
+    """One simulated worker node."""
+
+    def __init__(self, node_id, budget):
+        self.node_id = node_id
+        self.budget = budget
+        self.accountant = MemoryAccountant(budget)
+        self.storage = StorageManager(
+            budget.storage_bytes, spill_enabled=budget.storage_elastic
+        )
+        self.tasks_run = 0
+
+    def __repr__(self):
+        return f"<Worker {self.node_id}>"
+
+
+class ClusterContext:
+    """A simulated cluster of workers sharing one driver.
+
+    Parameters
+    ----------
+    budget:
+        The per-worker :class:`~repro.memory.model.MemoryBudget`
+        (every node is homogeneous, as in the paper's testbed).
+    num_nodes:
+        Worker count.
+    cores_per_node:
+        Physical cores per node (``cpu_sys`` in Table 1A).
+    cpu:
+        Degree of parallelism actually used per worker (``cpu`` in
+        Table 1B); defaults to ``cores_per_node``.
+    """
+
+    def __init__(self, budget, num_nodes=1, cores_per_node=8, cpu=None):
+        self.num_nodes = int(num_nodes)
+        self.cores_per_node = int(cores_per_node)
+        self.cpu = int(cpu) if cpu is not None else self.cores_per_node
+        self.workers = [Worker(i, budget) for i in range(self.num_nodes)]
+        self.driver = MemoryAccountant(budget)
+        self._next_table_id = 0
+
+    def worker_for(self, partition_index):
+        return self.workers[partition_index % self.num_nodes]
+
+    def total_cores(self):
+        return self.cpu * self.num_nodes
+
+    def next_table_name(self, prefix="table"):
+        self._next_table_id += 1
+        return f"{prefix}_{self._next_table_id}"
+
+    def total_spilled_bytes(self):
+        return sum(w.storage.spilled_bytes_total for w in self.workers)
+
+    def total_spill_read_bytes(self):
+        return sum(w.storage.spill_read_bytes_total for w in self.workers)
+
+    def reset_metrics(self):
+        for worker in self.workers:
+            worker.storage.spilled_bytes_total = 0
+            worker.storage.spill_read_bytes_total = 0
+            worker.storage.eviction_count = 0
+            worker.tasks_run = 0
+            worker.accountant.reset_peaks()
+
+    def __repr__(self):
+        return (
+            f"<ClusterContext {self.num_nodes} nodes x "
+            f"{self.cores_per_node} cores (cpu={self.cpu})>"
+        )
+
+
+def local_context(system_gb=4, heap_gb=2, num_nodes=2, cores_per_node=4,
+                  cpu=None, backend="spark", storage_gb=None):
+    """Convenience constructor for small test/example clusters."""
+    from repro.memory.spark import spark_memory_budget
+    from repro.memory.ignite import ignite_memory_budget
+
+    system = int(system_gb * GB)
+    heap = int(heap_gb * GB)
+    if backend == "spark":
+        budget = spark_memory_budget(
+            system, heap, os_reserved_bytes=int(0.25 * GB)
+        )
+    elif backend == "ignite":
+        storage = int((storage_gb if storage_gb is not None else 1) * GB)
+        budget = ignite_memory_budget(
+            system, heap, storage, os_reserved_bytes=int(0.25 * GB)
+        )
+    else:
+        raise ValueError(f"backend must be 'spark' or 'ignite', got {backend!r}")
+    return ClusterContext(
+        budget, num_nodes=num_nodes, cores_per_node=cores_per_node, cpu=cpu
+    )

@@ -1,0 +1,92 @@
+"""Task execution with wave-based memory accounting.
+
+Tasks over partitions run deterministically (sequentially) but are
+*accounted* as if ``cpu`` tasks per worker run concurrently: tasks are
+grouped into waves of size ``cpu`` per worker, every task in a wave
+holds its memory charge until the wave completes, and the per-region
+accountants raise the Section 4.1 crash exceptions if a wave's
+combined footprint overflows a region. This reproduces the paper's
+"higher parallelism -> bigger footprint -> crash" behaviour without
+nondeterministic threading.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.memory.model import Region
+
+
+def group_by_worker(context, partitions):
+    """Group (position, partition) pairs by their assigned worker."""
+    grouped = defaultdict(list)
+    for position, partition in enumerate(partitions):
+        grouped[context.worker_for(partition.index)].append(
+            (position, partition)
+        )
+    return grouped
+
+
+def _waves(items, width):
+    for start in range(0, len(items), width):
+        yield items[start:start + width]
+
+
+def run_partition_tasks(context, partitions, task_fn, region=Region.USER,
+                        charge_fn=None, what="udf execution"):
+    """Run ``task_fn(partition) -> result`` over every partition.
+
+    ``charge_fn(partition, result) -> bytes`` gives the per-task memory
+    footprint charged to ``region`` on that partition's worker for the
+    duration of its wave. Results are returned in partition order.
+    """
+    results = [None] * len(partitions)
+    for worker, items in group_by_worker(context, partitions).items():
+        for wave in _waves(items, context.cpu):
+            charged = 0
+            try:
+                for position, partition in wave:
+                    result = task_fn(partition)
+                    results[position] = result
+                    worker.tasks_run += 1
+                    if charge_fn is not None:
+                        nbytes = charge_fn(partition, result)
+                        # count before charging: charge() increments
+                        # used before raising, so the finally block
+                        # must release it either way
+                        charged += nbytes
+                        worker.accountant.charge(region, nbytes, what=what)
+            finally:
+                worker.accountant.release(region, charged)
+    return results
+
+
+def charge_model_replicas(context, model_bytes, region=Region.DL,
+                          what="CNN model replicas"):
+    """Charge ``cpu`` model replicas on every worker (issue (1) of
+    Section 4.1: each execution thread spawns its own DL model replica).
+
+    Returns a callable that releases the charges; crashes with
+    :class:`DLExecutionMemoryExceeded` if a worker cannot hold them.
+    """
+    charged = []
+    try:
+        for worker in context.workers:
+            nbytes = context.cpu * int(model_bytes)
+            try:
+                worker.accountant.charge(region, nbytes, what=what)
+            except Exception:
+                # charge() increments before raising: roll this one back
+                worker.accountant.release(region, nbytes)
+                raise
+            charged.append((worker, nbytes))
+    except Exception:
+        for worker, nbytes in charged:
+            worker.accountant.release(region, nbytes)
+        raise
+
+    def release():
+        for worker, nbytes in charged:
+            worker.accountant.release(region, nbytes)
+
+    return release

@@ -1,0 +1,149 @@
+"""Physical join operators (Section 4.2.3).
+
+Two distributed key-key equi-join implementations:
+
+- **shuffle-hash join**: both tables are hash-partitioned on the key
+  into the same number of shuffle blocks; co-located blocks are joined
+  with a local hash join. The build side's hash table is charged to
+  Core Memory per wave — an oversized partition here is crash
+  scenario (3) of Section 4.1.
+- **broadcast join**: the smaller table is collected at the driver
+  (Driver memory — crash scenario (4)) and a full copy is charged to
+  every worker's User Memory; the bigger table is then joined in place
+  with no shuffle. Faster when the small side fits (Figure 10), but
+  crashes as the structured side grows (Figure 10(3,4)).
+
+Join output merges the two records; on a field-name clash the left
+(probe) side wins except for the key, which is identical by
+definition.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.partition import Partition
+from repro.dataflow.record import estimate_rows_bytes
+from repro.dataflow.executor import run_partition_tasks
+from repro.memory.model import Region
+
+SHUFFLE = "shuffle"
+BROADCAST = "broadcast"
+
+
+def _merge(left_row, right_row):
+    merged = dict(right_row)
+    merged.update(left_row)
+    return merged
+
+
+def shuffle_hash_join(left, right, num_partitions=None, name=None,
+                      core_alpha=1.0):
+    """Distributed shuffle-hash join of two tables on their keys.
+
+    ``num_partitions`` is the number of shuffle blocks (``np`` in
+    Table 1B); defaults to the larger side's partition count.
+    """
+    from repro.dataflow.table import DistributedTable
+
+    if left.key != right.key:
+        raise ValueError(
+            f"key mismatch: {left.key!r} vs {right.key!r}"
+        )
+    if num_partitions is None:
+        num_partitions = max(left.num_partitions, right.num_partitions)
+    left_shuffled = left.repartition_by_key(num_partitions)
+    right_shuffled = right.repartition_by_key(num_partitions)
+
+    # Build on the smaller side, probe with the larger.
+    if left.memory_bytes() <= right.memory_bytes():
+        build, probe = left_shuffled, right_shuffled
+    else:
+        build, probe = right_shuffled, left_shuffled
+    build_rows = {p.index: p.rows() for p in build.partitions}
+
+    def task(probe_partition):
+        rows = build_rows.get(probe_partition.index, [])
+        table = {}
+        for row in rows:
+            table[row[build.key]] = row
+        joined = []
+        for row in probe_partition.rows():
+            match = table.get(row[probe.key])
+            if match is not None:
+                joined.append(_merge(row, match))
+        return joined
+
+    def charge(probe_partition, joined):
+        build_bytes = estimate_rows_bytes(
+            build_rows.get(probe_partition.index, [])
+        )
+        return int(core_alpha * build_bytes)
+
+    outputs = run_partition_tasks(
+        left.context, probe.partitions, task, region=Region.CORE,
+        charge_fn=charge, what="shuffle-hash join build",
+    )
+    partitions = [
+        Partition.from_rows(p.index, rows)
+        for p, rows in zip(probe.partitions, outputs)
+    ]
+    return DistributedTable(left.context, partitions, name=name, key=left.key)
+
+
+def broadcast_join(small, big, name=None):
+    """Broadcast the ``small`` table and join ``big`` against it."""
+    from repro.dataflow.table import DistributedTable
+
+    if small.key != big.key:
+        raise ValueError(f"key mismatch: {small.key!r} vs {big.key!r}")
+    context = small.context
+    small_rows = small.collect()  # charges Driver memory
+    small_bytes = estimate_rows_bytes(small_rows)
+    lookup = {row[small.key]: row for row in small_rows}
+
+    # A full copy of the broadcast table lives in every worker's User
+    # Memory for the duration of the join.
+    charged = []
+    try:
+        for worker in context.workers:
+            worker.accountant.charge(
+                Region.USER, small_bytes, what="broadcast table copy"
+            )
+            charged.append(worker)
+
+        def task(partition):
+            joined = []
+            for row in partition.rows():
+                match = lookup.get(row[big.key])
+                if match is not None:
+                    joined.append(_merge(row, match))
+            return joined
+
+        outputs = run_partition_tasks(
+            context, big.partitions, task, region=Region.USER,
+            charge_fn=lambda p, rows: estimate_rows_bytes(rows),
+            what="broadcast join output",
+        )
+    finally:
+        for worker in charged:
+            worker.accountant.release(Region.USER, small_bytes)
+    partitions = [
+        Partition.from_rows(p.index, rows)
+        for p, rows in zip(big.partitions, outputs)
+    ]
+    return DistributedTable(context, partitions, name=name, key=big.key)
+
+
+def join(left, right, how=SHUFFLE, num_partitions=None, name=None):
+    """Dispatch on the physical join decision (Table 1B's ``join``)."""
+    if how == SHUFFLE:
+        return shuffle_hash_join(
+            left, right, num_partitions=num_partitions, name=name
+        )
+    if how == BROADCAST:
+        small, big = (
+            (left, right)
+            if left.memory_bytes() <= right.memory_bytes()
+            else (right, left)
+        )
+        return broadcast_join(small, big, name=name)
+    raise ValueError(f"unknown join operator {how!r}")

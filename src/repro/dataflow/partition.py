@@ -1,0 +1,89 @@
+"""Data partitions with deserialized and serialized representations.
+
+Section 4.2.3: the persistence format for in-memory intermediate data
+is either *deserialized* (live objects; fast, large) or *serialized*
+(compressed bytes; smaller, pays translation CPU). Partitions support
+both, report their size under each, and count how many times they were
+converted so benchmarks can attribute serialization overhead.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+
+from repro.dataflow.record import estimate_rows_bytes
+
+DESERIALIZED = "deserialized"
+SERIALIZED = "serialized"
+
+
+class Partition:
+    """One partition of a distributed table.
+
+    Holds either live rows, a compressed blob, or both (a blob with a
+    decoded cache). ``rows()`` always returns live rows, converting if
+    needed.
+    """
+
+    def __init__(self, index, rows=None, blob=None):
+        if rows is None and blob is None:
+            raise ValueError("a partition needs rows or a serialized blob")
+        self.index = index
+        self._rows = list(rows) if rows is not None else None
+        self._blob = blob
+        self._deser_bytes = None
+        self.serialize_count = 0
+        self.deserialize_count = 0
+
+    @classmethod
+    def from_rows(cls, index, rows):
+        return cls(index, rows=rows)
+
+    def __len__(self):
+        return len(self.rows())
+
+    def rows(self):
+        if self._rows is None:
+            self._rows = pickle.loads(zlib.decompress(self._blob))
+            self.deserialize_count += 1
+        return self._rows
+
+    def serialized_blob(self):
+        if self._blob is None:
+            self._blob = zlib.compress(
+                pickle.dumps(self._rows, protocol=pickle.HIGHEST_PROTOCOL), 1
+            )
+            self.serialize_count += 1
+        return self._blob
+
+    def drop_rows(self):
+        """Keep only the serialized representation (after ensuring it
+        exists); models storing a partition in serialized format."""
+        self.serialized_blob()
+        self._rows = None
+        self._deser_bytes = None
+
+    def drop_blob(self):
+        """Keep only live rows."""
+        self.rows()
+        self._blob = None
+
+    def memory_bytes(self, persistence=DESERIALIZED):
+        """In-memory footprint under a persistence format."""
+        if persistence == SERIALIZED:
+            return len(self.serialized_blob())
+        if self._deser_bytes is None:
+            self._deser_bytes = estimate_rows_bytes(self.rows())
+        return self._deser_bytes
+
+    def invalidate_size(self):
+        self._deser_bytes = None
+
+    def __repr__(self):
+        state = []
+        if self._rows is not None:
+            state.append(f"{len(self._rows)} rows")
+        if self._blob is not None:
+            state.append(f"{len(self._blob)}B blob")
+        return f"<Partition {self.index}: {', '.join(state)}>"

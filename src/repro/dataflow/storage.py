@@ -1,0 +1,124 @@
+"""Storage Memory management: caching, LRU eviction, disk spill.
+
+Models the Storage region of the abstract memory model. Spark-style
+elastic storage evicts least-recently-used partitions to disk when the
+region fills (raising *runtimes*, not errors); Ignite-style static
+memory-only storage crashes with :class:`StorageMemoryExceeded`
+instead — the behavioural difference behind Figure 6's per-backend
+crash pattern.
+
+"Disk" is a byte counter plus retained partition references: the data
+is never thrown away (we are one process), but every spill and
+re-read is metered so benchmarks and the cost model can charge I/O.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.dataflow.partition import DESERIALIZED
+from repro.exceptions import StorageMemoryExceeded
+
+
+class StorageManager:
+    """Per-worker storage region with LRU eviction and spill metering."""
+
+    def __init__(self, capacity_bytes, spill_enabled=True):
+        self.capacity_bytes = int(capacity_bytes)
+        self.spill_enabled = spill_enabled
+        self._cached = OrderedDict()   # key -> (partition, bytes)
+        self._spilled = {}             # key -> (partition, bytes)
+        self.used_bytes = 0
+        self.peak_bytes = 0
+        self.spilled_bytes_total = 0
+        self.spill_read_bytes_total = 0
+        self.eviction_count = 0
+
+    def cache(self, key, partition, persistence=DESERIALIZED):
+        """Admit a partition into Storage Memory.
+
+        Evicts LRU partitions to disk to make room when spill is
+        enabled; otherwise raises :class:`StorageMemoryExceeded` when
+        the region cannot hold the partition.
+        """
+        if key in self._cached:
+            self._touch(key)
+            return
+        nbytes = partition.memory_bytes(persistence)
+        if nbytes > self.capacity_bytes and not self.spill_enabled:
+            raise StorageMemoryExceeded(
+                f"partition of {nbytes} B exceeds storage region of "
+                f"{self.capacity_bytes} B and spills are disabled"
+            )
+        self._make_room(nbytes)
+        self._cached[key] = (partition, nbytes)
+        self.used_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+
+    def _make_room(self, needed):
+        while self.used_bytes + needed > self.capacity_bytes and self._cached:
+            if not self.spill_enabled:
+                raise StorageMemoryExceeded(
+                    f"storage region full ({self.used_bytes} B used, "
+                    f"{needed} B needed, capacity {self.capacity_bytes} B) "
+                    "and spills are disabled"
+                )
+            evict_key, (partition, nbytes) = self._cached.popitem(last=False)
+            self._spilled[evict_key] = (partition, nbytes)
+            self.used_bytes -= nbytes
+            self.spilled_bytes_total += nbytes
+            self.eviction_count += 1
+        if self.used_bytes + needed > self.capacity_bytes:
+            if not self.spill_enabled:
+                raise StorageMemoryExceeded(
+                    f"partition of {needed} B cannot fit in storage region "
+                    f"of {self.capacity_bytes} B"
+                )
+            # Nothing left to evict: the new partition itself goes
+            # straight to disk (counted below by the caller's get()).
+
+    def _touch(self, key):
+        self._cached.move_to_end(key)
+
+    def get(self, key):
+        """Fetch a cached partition, reading it back from disk (and
+        metering the read) if it was spilled. Returns None on miss."""
+        if key in self._cached:
+            self._touch(key)
+            return self._cached[key][0]
+        if key in self._spilled:
+            partition, nbytes = self._spilled.pop(key)
+            self.spill_read_bytes_total += nbytes
+            self._make_room(nbytes)
+            if self.used_bytes + nbytes <= self.capacity_bytes:
+                self._cached[key] = (partition, nbytes)
+                self.used_bytes += nbytes
+                self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+            else:
+                self._spilled[key] = (partition, nbytes)
+            return partition
+        return None
+
+    def evict(self, key):
+        """Drop a partition from the region entirely (unpersist)."""
+        if key in self._cached:
+            _, nbytes = self._cached.pop(key)
+            self.used_bytes -= nbytes
+        self._spilled.pop(key, None)
+
+    def clear(self):
+        self._cached.clear()
+        self._spilled.clear()
+        self.used_bytes = 0
+
+    def cached_keys(self):
+        return list(self._cached)
+
+    def spilled_keys(self):
+        return list(self._spilled)
+
+    def __repr__(self):
+        return (
+            f"<StorageManager {self.used_bytes}/{self.capacity_bytes} B, "
+            f"{len(self._cached)} cached, {len(self._spilled)} spilled>"
+        )

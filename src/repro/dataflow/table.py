@@ -1,0 +1,180 @@
+"""DistributedTable: the engine's table abstraction.
+
+A table is a list of :class:`Partition` objects placed on the simulated
+workers of a :class:`ClusterContext`. Operators are eager (each returns
+a fully materialized new table), which keeps memory accounting exact —
+the workload the paper studies materializes its intermediates anyway.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.partition import DESERIALIZED, Partition
+from repro.dataflow.record import estimate_record_bytes, estimate_rows_bytes
+from repro.dataflow.executor import run_partition_tasks
+from repro.memory.model import Region
+
+
+class DistributedTable:
+    """A partitioned table of dict records with a designated key field."""
+
+    def __init__(self, context, partitions, name=None, key="id"):
+        self.context = context
+        self.partitions = list(partitions)
+        self.name = name or context.next_table_name()
+        self.key = key
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, context, rows, num_partitions=None, name=None,
+                  key="id"):
+        """Build a table by chunking ``rows`` evenly into partitions."""
+        rows = list(rows)
+        if num_partitions is None:
+            num_partitions = max(1, context.total_cores())
+        num_partitions = max(1, min(int(num_partitions), max(1, len(rows))))
+        chunks = [[] for _ in range(num_partitions)]
+        for position, row in enumerate(rows):
+            chunks[position % num_partitions].append(row)
+        partitions = [
+            Partition.from_rows(index, chunk)
+            for index, chunk in enumerate(chunks)
+        ]
+        return cls(context, partitions, name=name, key=key)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def num_partitions(self):
+        return len(self.partitions)
+
+    def num_rows(self):
+        return sum(len(p) for p in self.partitions)
+
+    def memory_bytes(self, persistence=DESERIALIZED):
+        return sum(p.memory_bytes(persistence) for p in self.partitions)
+
+    def max_partition_bytes(self, persistence=DESERIALIZED):
+        if not self.partitions:
+            return 0
+        return max(p.memory_bytes(persistence) for p in self.partitions)
+
+    # ------------------------------------------------------------------
+    # operators
+    # ------------------------------------------------------------------
+    def map_rows(self, fn, name=None, user_alpha=1.0):
+        """Apply ``fn(row) -> row`` per record (a per-row UDF).
+
+        Output rows of each concurrently running task are charged to
+        the worker's User Memory (times ``user_alpha``, the paper's
+        JVM-object fudge factor) for the duration of the task wave.
+        """
+        return self.map_partitions(
+            lambda rows: [fn(row) for row in rows], name=name,
+            user_alpha=user_alpha,
+        )
+
+    def map_partitions(self, fn, name=None, user_alpha=1.0):
+        """Apply ``fn(rows) -> rows`` per partition (a MapPartitions
+        UDF), with wave-based User Memory accounting."""
+        def task(partition):
+            return list(fn(partition.rows()))
+
+        def charge(partition, out_rows):
+            return int(user_alpha * estimate_rows_bytes(out_rows))
+
+        outputs = run_partition_tasks(
+            self.context, self.partitions, task, region=Region.USER,
+            charge_fn=charge, what=f"map over {self.name}",
+        )
+        partitions = [
+            Partition.from_rows(p.index, rows)
+            for p, rows in zip(self.partitions, outputs)
+        ]
+        return DistributedTable(
+            self.context, partitions, name=name, key=self.key
+        )
+
+    def project(self, fields, name=None):
+        """Keep only ``fields`` (the key is always kept)."""
+        keep = list(dict.fromkeys([self.key, *fields]))
+
+        def slim(row):
+            return {field: row[field] for field in keep if field in row}
+
+        return self.map_rows(slim, name=name)
+
+    def filter_rows(self, predicate, name=None):
+        return self.map_partitions(
+            lambda rows: [row for row in rows if predicate(row)], name=name
+        )
+
+    def repartition_by_key(self, num_partitions, name=None):
+        """Hash-partition rows on the key into ``num_partitions``
+        shuffle blocks, metering the shuffled bytes on the context."""
+        num_partitions = max(1, int(num_partitions))
+        buckets = [[] for _ in range(num_partitions)]
+        shuffled = 0
+        for partition in self.partitions:
+            for row in partition.rows():
+                bucket = hash(row[self.key]) % num_partitions
+                buckets[bucket].append(row)
+                shuffled += estimate_record_bytes(row)
+        _meter_shuffle(self.context, shuffled)
+        partitions = [
+            Partition.from_rows(index, bucket)
+            for index, bucket in enumerate(buckets)
+        ]
+        return DistributedTable(
+            self.context, partitions, name=name, key=self.key
+        )
+
+    def cache(self, persistence=DESERIALIZED):
+        """Persist every partition in its worker's Storage region."""
+        for partition in self.partitions:
+            if persistence != DESERIALIZED:
+                partition.drop_rows()
+            worker = self.context.worker_for(partition.index)
+            worker.storage.cache(
+                (self.name, partition.index), partition, persistence
+            )
+        return self
+
+    def unpersist(self):
+        for partition in self.partitions:
+            worker = self.context.worker_for(partition.index)
+            worker.storage.evict((self.name, partition.index))
+        return self
+
+    def collect(self):
+        """Gather all rows at the driver (charged to Driver memory —
+        crash scenario (4) of Section 4.1)."""
+        nbytes = self.memory_bytes()
+        self.context.driver.charge(
+            Region.DRIVER, nbytes, what=f"collect of {self.name}"
+        )
+        try:
+            rows = []
+            for partition in self.partitions:
+                rows.extend(partition.rows())
+            return rows
+        finally:
+            self.context.driver.release(Region.DRIVER, nbytes)
+
+    def to_rows_sorted(self):
+        """All rows ordered by key — handy for deterministic asserts."""
+        return sorted(self.collect(), key=lambda row: row[self.key])
+
+    def __repr__(self):
+        return (
+            f"<DistributedTable {self.name}: {self.num_rows()} rows in "
+            f"{self.num_partitions} partitions>"
+        )
+
+
+def _meter_shuffle(context, nbytes):
+    context.shuffle_bytes_total = getattr(
+        context, "shuffle_bytes_total", 0
+    ) + int(nbytes)

@@ -1,0 +1,69 @@
+"""Workload crash taxonomy for the feature transfer workload.
+
+Section 4.1 of the paper enumerates four memory-related crash scenarios
+that arise when CNN inference runs inside a parallel dataflow system.
+Each scenario gets its own exception type so tests and benchmarks can
+assert *which* failure mode was triggered, mirroring the "X" (crash)
+cells in Figures 6, 7, 10, and 11 of the paper.
+"""
+
+
+class VistaError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class WorkloadCrash(VistaError):
+    """A workload crash: the execution died mid-flight.
+
+    This models an application being killed by the OS, a JVM
+    OutOfMemoryError, or a driver failure, as described in Section 4.1.
+    """
+
+
+class DLExecutionMemoryExceeded(WorkloadCrash):
+    """Crash scenario (1): DL Execution Memory blowup.
+
+    Serialized CNN formats underestimate in-memory footprints; each
+    execution thread replicates the model, so ``cpu * |f|_mem`` can
+    exceed the memory left outside the PD system's heap, and the OS
+    kills the application.
+    """
+
+
+class UserMemoryExceeded(WorkloadCrash):
+    """Crash scenario (2): insufficient User Memory.
+
+    UDF threads share User Memory for the serialized CNN, feature-layer
+    TensorLists, and the downstream model; exceeding it raises an
+    out-of-memory error inside the PD system.
+    """
+
+
+class ExecutionMemoryExceeded(WorkloadCrash):
+    """Crash scenario (3): a data partition too large for Core/User
+    Execution Memory during join processing or MapPartition UDFs."""
+
+
+class DriverMemoryExceeded(WorkloadCrash):
+    """Crash scenario (4): the driver ran out of memory while
+    broadcasting the CNN or collecting partial results."""
+
+
+class StorageMemoryExceeded(WorkloadCrash):
+    """Purely in-memory storage (Ignite-style, no disk spills) ran out
+    of room for intermediate tables."""
+
+
+class NoFeasiblePlan(VistaError):
+    """Raised by the optimizer (Algorithm 1, line 18) when no value of
+    ``cpu`` satisfies all memory constraints; the user must provision
+    machines with more memory."""
+
+
+class ShapeError(VistaError):
+    """A tensor is not shape-compatible with a TensorOp (Def. 3.3)."""
+
+
+class InvalidLayerError(VistaError):
+    """A requested layer index is outside the CNN's layer range or not
+    an exposed feature layer of the roster model."""

@@ -1,0 +1,11 @@
+"""Classical image features and feature-layer post-processing.
+
+``hog`` implements Histogram of Oriented Gradients, the non-CNN
+baseline of Figure 8; ``pooling`` re-exports the grid max-pooling
+applied to convolutional feature layers before downstream training.
+"""
+
+from repro.features.hog import hog_features
+from repro.features.pooling import pool_feature_tensor
+
+__all__ = ["hog_features", "pool_feature_tensor"]

@@ -1,0 +1,21 @@
+"""Feature-layer dimensionality reduction before downstream training.
+
+Section 5 (footnote 4): convolutional feature layers are max-pooled so
+"the feature tensor [reduces] to a 2x2 grid of the same depth" before
+flattening; fully connected layers are used as-is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.ops import grid_max_pool
+
+
+def pool_feature_tensor(tensor, grid=2):
+    """Reduce a feature tensor for transfer: 3-d conv outputs are
+    grid-max-pooled then flattened; 1-d outputs pass through flat."""
+    tensor = np.asarray(tensor)
+    if tensor.ndim == 3:
+        tensor = grid_max_pool(tensor, grid=grid)
+    return tensor.reshape(-1)

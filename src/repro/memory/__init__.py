@@ -1,0 +1,20 @@
+"""Distributed memory apportioning (Section 4.1, Figure 4).
+
+``model`` implements the paper's abstract memory model — System Memory
+split into OS-Reserved, User, Core, Storage, and DL-Execution regions —
+plus a runtime accountant that raises the Section 4.1 crash scenarios
+when a region is exhausted. ``spark`` and ``ignite`` map the abstract
+model onto the two PD backends the paper prototypes on (Figure 4B/C).
+"""
+
+from repro.memory.model import MemoryAccountant, MemoryBudget, Region
+from repro.memory.spark import spark_memory_budget
+from repro.memory.ignite import ignite_memory_budget
+
+__all__ = [
+    "MemoryAccountant",
+    "MemoryBudget",
+    "Region",
+    "ignite_memory_budget",
+    "spark_memory_budget",
+]

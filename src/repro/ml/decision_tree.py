@@ -1,0 +1,126 @@
+"""CART-style binary decision tree classifier.
+
+Section 5.2: "We also tried a decision tree as the downstream ML
+model" — the paper observes conventional-depth trees do not benefit
+much from CNN features, which our Figure 8 bench re-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    prediction: float = 0.5  # P(label = 1) at a leaf
+
+    @property
+    def is_leaf(self):
+        return self.left is None
+
+
+def _gini(counts):
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return 1.0 - np.square(p).sum()
+
+
+class DecisionTreeClassifier:
+    """Greedy CART tree on binary labels with Gini impurity splits.
+
+    ``max_features`` optionally subsamples split candidates per node,
+    which keeps training tractable on wide CNN-feature matrices.
+    """
+
+    def __init__(self, max_depth=5, min_samples_split=10, max_features=None,
+                 random_state=0):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root = None
+
+    def fit(self, features, labels):
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        rng = np.random.default_rng(self.random_state)
+        self._root = self._grow(features, labels, depth=0, rng=rng)
+        return self
+
+    def _grow(self, features, labels, depth, rng):
+        node = _Node(prediction=labels.mean() if len(labels) else 0.5)
+        if (
+            depth >= self.max_depth
+            or len(labels) < self.min_samples_split
+            or labels.min() == labels.max()
+        ):
+            return node
+        split = self._best_split(features, labels, rng)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = features[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[mask], labels[mask], depth + 1, rng)
+        node.right = self._grow(features[~mask], labels[~mask], depth + 1, rng)
+        return node
+
+    def _best_split(self, features, labels, rng):
+        n, d = features.shape
+        candidates = np.arange(d)
+        if self.max_features is not None and self.max_features < d:
+            candidates = rng.choice(d, size=self.max_features, replace=False)
+        parent_counts = np.bincount(labels, minlength=2).astype(np.float64)
+        best = None
+        best_gain = 1e-12
+        parent_impurity = _gini(parent_counts)
+        for feature in candidates:
+            order = np.argsort(features[:, feature], kind="stable")
+            values = features[order, feature]
+            sorted_labels = labels[order]
+            ones = np.cumsum(sorted_labels)
+            totals = np.arange(1, n + 1)
+            # Candidate split after each position where the value changes.
+            change = np.nonzero(np.diff(values))[0]
+            for position in change:
+                left_n = totals[position]
+                left_ones = ones[position]
+                left = np.array(
+                    [left_n - left_ones, left_ones], dtype=np.float64
+                )
+                right = parent_counts - left
+                weighted = (
+                    left_n * _gini(left) + (n - left_n) * _gini(right)
+                ) / n
+                gain = parent_impurity - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    threshold = 0.5 * (values[position] + values[position + 1])
+                    best = (int(feature), float(threshold))
+        return best
+
+    def predict_proba(self, features):
+        if self._root is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        features = np.asarray(features, dtype=np.float64)
+        return np.array([self._walk(row) for row in features])
+
+    def _walk(self, row):
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    def predict(self, features):
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)

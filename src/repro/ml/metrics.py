@@ -1,0 +1,36 @@
+"""Classification metrics: F1 (the paper's Figure 8 metric) and
+accuracy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _counts(y_true, y_pred):
+    y_true = np.asarray(y_true).astype(np.int64)
+    y_pred = np.asarray(y_pred).astype(np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    tp = int(((y_true == 1) & (y_pred == 1)).sum())
+    fp = int(((y_true == 0) & (y_pred == 1)).sum())
+    fn = int(((y_true == 1) & (y_pred == 0)).sum())
+    return tp, fp, fn
+
+
+def f1_score(y_true, y_pred):
+    """Binary F1 of the positive class; 0.0 when undefined."""
+    tp, fp, fn = _counts(y_true, y_pred)
+    denom = 2 * tp + fp + fn
+    if denom == 0:
+        return 0.0
+    return 2 * tp / denom
+
+
+def accuracy_score(y_true, y_pred):
+    y_true = np.asarray(y_true).astype(np.int64)
+    y_pred = np.asarray(y_pred).astype(np.int64)
+    if y_true.size == 0:
+        return 0.0
+    return float((y_true == y_pred).mean())

@@ -1,0 +1,42 @@
+"""Feature preprocessing: standardization and train/test splitting.
+
+The paper evaluates on a held-out "20% of the data" test split
+(Section 5.2); splits here are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def standardize(train_features, *other_feature_sets):
+    """Zero-mean/unit-variance scale fitted on the training set and
+    applied to every passed set. Returns arrays in the given order."""
+    train_features = np.asarray(train_features, dtype=np.float64)
+    mean = train_features.mean(axis=0)
+    std = train_features.std(axis=0)
+    std[std == 0.0] = 1.0
+    scaled = [(train_features - mean) / std]
+    for features in other_feature_sets:
+        features = np.asarray(features, dtype=np.float64)
+        scaled.append((features - mean) / std)
+    if not other_feature_sets:
+        return scaled[0]
+    return tuple(scaled)
+
+
+def train_test_split(features, labels, test_fraction=0.2, seed=0):
+    """Deterministic shuffled split; returns (X_tr, X_te, y_tr, y_te)."""
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    if len(features) != len(labels):
+        raise ValueError("features and labels must have equal length")
+    n = len(labels)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    cut = int(round(n * (1.0 - test_fraction)))
+    train_idx, test_idx = order[:cut], order[cut:]
+    return (
+        features[train_idx], features[test_idx],
+        labels[train_idx], labels[test_idx],
+    )

@@ -1,0 +1,6 @@
+"""Plain-text reporting: ASCII bar and line charts for the benchmark
+suite's figure reproductions."""
+
+from repro.report.ascii import bar_chart, line_chart
+
+__all__ = ["bar_chart", "line_chart"]

@@ -1,0 +1,22 @@
+"""Tensor abstractions from Section 3.1 of the paper.
+
+Implements Definitions 3.1-3.5: tensors (numpy arrays), ``TensorList``
+(an indexed list of tensors of potentially different shapes),
+``TensorOp`` (a fixed-shape tensor function), and ``FlattenOp``.
+"""
+
+from repro.tensor.ops import (
+    FlattenOp,
+    IdentityOp,
+    TensorOp,
+    grid_max_pool,
+)
+from repro.tensor.tensorlist import TensorList
+
+__all__ = [
+    "FlattenOp",
+    "IdentityOp",
+    "TensorOp",
+    "TensorList",
+    "grid_max_pool",
+]

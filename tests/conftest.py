@@ -1,0 +1,78 @@
+"""Shared fixtures: mini models, small datasets, and local contexts."""
+
+import numpy as np
+import pytest
+
+from repro.cnn import build_model, get_model_stats
+from repro.core.config import DatasetStats, Resources
+from repro.data import amazon_dataset, foods_dataset
+from repro.dataflow.context import local_context
+from repro.memory.model import GB
+
+
+@pytest.fixture(scope="session")
+def alexnet_mini():
+    return build_model("alexnet", profile="mini")
+
+
+@pytest.fixture(scope="session")
+def vgg16_mini():
+    return build_model("vgg16", profile="mini")
+
+
+@pytest.fixture(scope="session")
+def resnet50_mini():
+    return build_model("resnet50", profile="mini")
+
+
+@pytest.fixture(scope="session", params=["alexnet", "vgg16", "resnet50"])
+def any_mini_model(request):
+    return build_model(request.param, profile="mini")
+
+
+@pytest.fixture(scope="session")
+def small_foods():
+    return foods_dataset(num_records=60)
+
+
+@pytest.fixture(scope="session")
+def small_amazon():
+    return amazon_dataset(num_records=60)
+
+
+@pytest.fixture
+def ctx():
+    return local_context(num_nodes=2, cores_per_node=4)
+
+
+@pytest.fixture(scope="session")
+def paper_resources():
+    """The paper's CloudLab worker spec."""
+    return Resources(
+        num_nodes=8, system_memory_bytes=32 * GB, cores_per_node=8
+    )
+
+
+@pytest.fixture(scope="session")
+def foods_stats():
+    return DatasetStats(
+        num_records=20_000, num_structured_features=130,
+        avg_image_bytes=14 * 1024,
+    )
+
+
+@pytest.fixture(scope="session")
+def amazon_stats():
+    return DatasetStats(
+        num_records=200_000, num_structured_features=200,
+        avg_image_bytes=15 * 1024,
+    )
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)
+
+
+def random_image(shape=(32, 32, 3), seed=0):
+    return np.random.default_rng(seed).normal(size=shape).astype(np.float32)

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_models_command(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    for model in ("alexnet", "vgg16", "resnet50"):
+        assert model in out
+
+
+def test_plan_command(capsys):
+    assert main(["plan", "--model", "alexnet", "--dataset", "foods"]) == 0
+    out = capsys.readouterr().out
+    assert "cpu=7" in out
+    assert "s_single" in out
+
+
+def test_plan_infeasible_exits_nonzero(capsys):
+    code = main(["plan", "--model", "vgg16", "--memory-gb", "6"])
+    assert code == 1
+    assert "NO FEASIBLE PLAN" in capsys.readouterr().out
+
+
+def test_estimate_vista(capsys):
+    assert main([
+        "estimate", "--model", "resnet50", "--dataset", "amazon",
+        "--approach", "vista",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "vista:" in out
+    assert "inference" in out
+
+
+def test_estimate_crash_exits_nonzero(capsys):
+    code = main([
+        "estimate", "--model", "vgg16", "--approach", "lazy-5",
+    ])
+    assert code == 1
+    assert "CRASH" in capsys.readouterr().out
+
+
+def test_estimate_eager_ignite(capsys):
+    assert main([
+        "estimate", "--model", "alexnet", "--approach", "eager",
+        "--backend", "ignite",
+    ]) == 0
+
+
+def test_run_command(capsys):
+    assert main([
+        "run", "--model", "alexnet", "--records", "24", "--nodes", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fc7" in out and "fc8" in out
+    assert "train F1" in out
+
+
+def test_parser_rejects_unknown_model():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["plan", "--model", "inception"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_layers_flag(capsys):
+    assert main([
+        "plan", "--model", "resnet50", "--layers", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "x 2 layers" in out

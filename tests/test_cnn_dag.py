@@ -1,0 +1,198 @@
+"""Tests for DAG networks and staged materialization over DAGs — the
+paper's Section 5.4 extension."""
+
+import numpy as np
+import pytest
+
+from repro.cnn.dag import (
+    DagCNN,
+    DagNode,
+    build_demo_dag,
+    run_staged,
+    staged_schedule,
+)
+from repro.exceptions import InvalidLayerError, ShapeError
+
+
+@pytest.fixture(scope="module")
+def dag():
+    return build_demo_dag()
+
+
+@pytest.fixture(scope="module")
+def image():
+    return np.random.default_rng(0).normal(size=(16, 16, 3)).astype(
+        np.float32
+    )
+
+
+class _CountingOp:
+    """Records how many times it runs — for no-redundancy assertions."""
+
+    def __init__(self, name, fn=None):
+        self.name = name
+        self.calls = 0
+        self.flops = 1
+        self._fn = fn or (lambda t: t + 1.0)
+
+    def __call__(self, tensor):
+        self.calls += 1
+        return self._fn(tensor)
+
+
+def _counting_diamond():
+    """a -> (b, c) -> d(add), with b and d as feature nodes."""
+    ops = {name: _CountingOp(name) for name in "abcd"}
+    dag = DagCNN("diamond", [
+        DagNode("a", ops["a"]),
+        DagNode("b", ops["b"], inputs=("a",), feature_node=True),
+        DagNode("c", ops["c"], inputs=("a",)),
+        DagNode("d", ops["d"], inputs=("b", "c"), merge="add",
+                feature_node=True),
+    ])
+    return dag, ops
+
+
+def test_construction_validates_topological_order():
+    with pytest.raises(InvalidLayerError):
+        DagCNN("bad", [
+            DagNode("b", _CountingOp("b"), inputs=("a",)),
+            DagNode("a", _CountingOp("a")),
+        ])
+
+
+def test_duplicate_node_rejected():
+    with pytest.raises(InvalidLayerError):
+        DagCNN("dup", [
+            DagNode("a", _CountingOp("a")),
+            DagNode("a", _CountingOp("a")),
+        ])
+
+
+def test_unknown_target_rejected(dag, image):
+    with pytest.raises(InvalidLayerError):
+        dag.forward(image, targets=["nonexistent"])
+
+
+def test_ancestors():
+    dag, _ = _counting_diamond()
+    assert dag.ancestors(["d"]) == {"a", "b", "c"}
+    assert dag.ancestors(["b"]) == {"a"}
+    assert dag.ancestors(["a"]) == set()
+
+
+def test_required_subgraph_stops_at_cut():
+    dag, _ = _counting_diamond()
+    assert dag.required_subgraph(["d"]) == ["a", "b", "c", "d"]
+    assert dag.required_subgraph(["d"], materialized={"b", "c"}) == ["d"]
+    # b materialized but c not: a must still run (c needs it)
+    assert dag.required_subgraph(["d"], materialized={"b"}) \
+        == ["a", "c", "d"]
+
+
+def test_forward_computes_feature_nodes(dag, image):
+    out = dag.forward(image)
+    assert set(out) == {"residual", "fuse", "head"}
+    assert out["residual"].shape == (16, 16, 8)
+    assert out["fuse"].shape == (16, 16, 8)
+    assert out["head"].shape == (4,)
+
+
+def test_forward_with_materialized_cut_matches_direct(dag, image):
+    direct = dag.forward(image, targets=["head"])
+    partial = dag.forward(image, targets=["fuse"])
+    resumed = dag.forward(
+        image, targets=["head"], materialized={"fuse": partial["fuse"]}
+    )
+    np.testing.assert_allclose(
+        resumed["head"], direct["head"], rtol=1e-5
+    )
+
+
+def test_add_merge_shape_mismatch_rejected():
+    ops = {name: _CountingOp(name) for name in "ab"}
+
+    def reshape(tensor):
+        return tensor.reshape(-1)
+
+    dag = DagCNN("bad-add", [
+        DagNode("a", ops["a"]),
+        DagNode("b", _CountingOp("b", reshape), inputs=("a",)),
+        DagNode("c", _CountingOp("c"), inputs=("a", "b"), merge="add"),
+    ])
+    with pytest.raises(ShapeError):
+        dag.forward(np.zeros((2, 2)), targets=["c"])
+
+
+def test_concat_merge_channels(dag, image):
+    """fuse concatenates stem + both branches: 24 input channels."""
+    out = dag.forward(image, targets=["fuse"])
+    assert out["fuse"].shape == (16, 16, 8)
+
+
+def test_staged_schedule_covers_each_node_once():
+    dag, ops = _counting_diamond()
+    steps = staged_schedule(dag, ["b", "d"])
+    computed = [n for step in steps for n in step.compute]
+    assert sorted(computed) == ["a", "b", "c", "d"]
+    assert len(computed) == len(set(computed))  # no operator twice
+
+
+def test_staged_schedule_keeps_live_cut_only():
+    dag, _ = _counting_diamond()
+    steps = staged_schedule(dag, ["b", "d"])
+    # after step 1 (target b), d still needs b and c's ancestors
+    assert "b" in steps[0].keep
+    # after the final step nothing is kept
+    assert steps[-1].keep == ()
+
+
+def test_run_staged_no_redundant_execution():
+    dag, ops = _counting_diamond()
+    image = np.zeros((2, 2), dtype=np.float32)
+    results, _ = run_staged(dag, image, ["b", "d"])
+    assert all(op.calls == 1 for op in ops.values()), {
+        name: op.calls for name, op in ops.items()
+    }
+    assert set(results) == {"b", "d"}
+
+
+def test_run_staged_matches_direct_forward(dag, image):
+    staged, _ = run_staged(dag, image, ["residual", "fuse", "head"])
+    direct = dag.forward(image, targets=["residual", "fuse", "head"])
+    for name in direct:
+        np.testing.assert_allclose(
+            staged[name], direct[name], rtol=1e-5, atol=1e-6
+        )
+
+
+def test_lazy_on_dag_runs_shared_prefix_repeatedly():
+    """The redundancy claim generalizes to DAGs: independent target
+    evaluation re-runs shared ancestors; staged does not."""
+    dag, ops = _counting_diamond()
+    image = np.zeros((2, 2), dtype=np.float32)
+    # lazy: each target from scratch
+    dag.forward(image, targets=["b"])
+    dag.forward(image, targets=["d"])
+    lazy_calls = {name: op.calls for name, op in ops.items()}
+    assert lazy_calls["a"] == 2  # shared prefix ran twice
+    for op in ops.values():
+        op.calls = 0
+    run_staged(dag, image, ["b", "d"])
+    assert all(op.calls == 1 for op in ops.values())
+
+
+def test_schedule_flops_accounting():
+    dag, _ = _counting_diamond()
+    steps = staged_schedule(dag, ["b", "d"])
+    total = sum(dag.flops_of(step.compute) for step in steps)
+    assert total == 4  # each counting op contributes 1
+
+
+def test_demo_dag_feature_nodes(dag):
+    assert dag.feature_nodes == ["residual", "fuse", "head"]
+
+
+def test_unknown_staged_target_rejected(dag):
+    with pytest.raises(InvalidLayerError):
+        staged_schedule(dag, ["ghost"])

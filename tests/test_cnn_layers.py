@@ -1,0 +1,142 @@
+"""Unit tests for the executable CNN layer TensorOps, checked against
+naive reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.cnn import layers as L
+
+
+def naive_conv(tensor, weights, bias, stride, padding):
+    k = weights.shape[0]
+    padded = np.pad(
+        tensor, ((padding, padding), (padding, padding), (0, 0))
+    )
+    h = (padded.shape[0] - k) // stride + 1
+    w = (padded.shape[1] - k) // stride + 1
+    cout = weights.shape[3]
+    out = np.zeros((h, w, cout), dtype=np.float32)
+    for i in range(h):
+        for j in range(w):
+            patch = padded[i * stride:i * stride + k, j * stride:j * stride + k]
+            for c in range(cout):
+                out[i, j, c] = (patch * weights[..., c]).sum() + bias[c]
+    return out
+
+
+@pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1), (1, 1)])
+def test_conv2d_matches_naive(stride, padding):
+    rng = np.random.default_rng(0)
+    tensor = rng.normal(size=(6, 6, 3)).astype(np.float32)
+    weights = rng.normal(size=(3, 3, 3, 4)).astype(np.float32)
+    bias = rng.normal(size=4).astype(np.float32)
+    conv = L.Conv2D((6, 6, 3), 4, 3, stride=stride, padding=padding,
+                    weights=weights, bias=bias)
+    expected = naive_conv(tensor, weights, bias, stride, padding)
+    np.testing.assert_allclose(conv(tensor), expected, rtol=1e-4, atol=1e-5)
+
+
+def test_conv2d_output_shape():
+    conv = L.Conv2D((8, 8, 3), 16, 3, stride=2, padding=1)
+    assert conv.output_shape == (4, 4, 16)
+
+
+def test_maxpool_matches_manual():
+    tensor = np.arange(16.0, dtype=np.float32).reshape(4, 4, 1)
+    pool = L.MaxPool2D((4, 4, 1), 2)
+    out = pool(tensor)
+    assert out.shape == (2, 2, 1)
+    assert out[0, 0, 0] == 5.0
+    assert out[1, 1, 0] == 15.0
+
+
+def test_maxpool_with_stride():
+    tensor = np.arange(25.0, dtype=np.float32).reshape(5, 5, 1)
+    pool = L.MaxPool2D((5, 5, 1), 3, stride=2)
+    out = pool(tensor)
+    assert out.shape == (2, 2, 1)
+    assert out[0, 0, 0] == 12.0
+
+
+def test_avgpool_values():
+    tensor = np.arange(16.0, dtype=np.float32).reshape(4, 4, 1)
+    out = L.AvgPool2D((4, 4, 1), 2)(tensor)
+    assert out[0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+
+def test_global_avgpool():
+    tensor = np.ones((3, 3, 5), dtype=np.float32) * 2.0
+    out = L.GlobalAvgPool((3, 3, 5))(tensor)
+    assert out.shape == (1, 1, 5)
+    np.testing.assert_allclose(out.ravel(), 2.0)
+
+
+def test_relu_clamps_negatives():
+    tensor = np.array([[-1.0, 2.0]], dtype=np.float32)
+    out = L.ReLU((1, 2))(tensor)
+    assert np.array_equal(out, [[0.0, 2.0]])
+
+
+def test_lrn_preserves_shape_and_reduces_magnitude():
+    rng = np.random.default_rng(0)
+    tensor = rng.normal(size=(4, 4, 8)).astype(np.float32) * 10
+    out = L.LocalResponseNorm((4, 4, 8))(tensor)
+    assert out.shape == tensor.shape
+    assert np.abs(out).max() <= np.abs(tensor).max()
+    assert np.sign(out[0, 0, 0]) == np.sign(tensor[0, 0, 0])
+
+
+def test_flatten_layer():
+    out = L.Flatten((2, 2, 2))(np.arange(8.0, dtype=np.float32).reshape(2, 2, 2))
+    assert np.array_equal(out, np.arange(8.0))
+
+
+def test_dense_with_and_without_relu():
+    weights = np.array([[1.0], [-1.0]], dtype=np.float32)
+    dense_relu = L.Dense(2, 1, weights=weights, relu=True)
+    dense_lin = L.Dense(2, 1, weights=weights, relu=False)
+    x = np.array([0.0, 2.0], dtype=np.float32)
+    assert dense_relu(x)[0] == 0.0
+    assert dense_lin(x)[0] == -2.0
+
+
+def test_dense_bias():
+    dense = L.Dense(2, 2, weights=np.zeros((2, 2), dtype=np.float32),
+                    bias=np.array([1.0, -5.0], dtype=np.float32), relu=False)
+    out = dense(np.zeros(2, dtype=np.float32))
+    assert np.array_equal(out, [1.0, -5.0])
+
+
+def test_bottleneck_identity_shortcut_shape():
+    rng = np.random.default_rng(1)
+    block = L.BottleneckBlock((8, 8, 16), 4, stride=1, rng=rng)
+    out = block(rng.normal(size=(8, 8, 16)).astype(np.float32))
+    assert out.shape == (8, 8, 16)
+    assert block.shortcut is None
+
+
+def test_bottleneck_projection_shortcut():
+    rng = np.random.default_rng(1)
+    block = L.BottleneckBlock((8, 8, 8), 4, stride=2, rng=rng)
+    out = block(rng.normal(size=(8, 8, 8)).astype(np.float32))
+    assert out.shape == (4, 4, 16)
+    assert block.shortcut is not None
+
+
+def test_bottleneck_output_nonnegative():
+    rng = np.random.default_rng(2)
+    block = L.BottleneckBlock((4, 4, 8), 2, rng=rng)
+    out = block(rng.normal(size=(4, 4, 8)).astype(np.float32))
+    assert (out >= 0).all()
+
+
+def test_bottleneck_param_count_matches_profile():
+    from repro.cnn.shapes import LayerSpec, profile_network
+
+    rng = np.random.default_rng(0)
+    block = L.BottleneckBlock((8, 8, 8), 4, stride=2, rng=rng)
+    profile = profile_network(
+        [LayerSpec("b", "bottleneck", {"filters": 4, "stride": 2})],
+        (8, 8, 8),
+    )[0]
+    assert block.param_count() == profile.param_count

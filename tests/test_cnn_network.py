@@ -1,0 +1,125 @@
+"""Unit tests for the CNN chain and partial inference (Defs. 3.4-3.7)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidLayerError
+from tests.conftest import random_image
+
+
+def test_layer_indexing(alexnet_mini):
+    assert alexnet_mini.layer_index("conv1") == 1
+    assert alexnet_mini.layer_name(1) == "conv1"
+    last = alexnet_mini.num_layers
+    assert alexnet_mini.layer_name(last) == "fc8"
+
+
+def test_unknown_layer_rejected(alexnet_mini):
+    with pytest.raises(InvalidLayerError):
+        alexnet_mini.layer_index("conv99")
+
+
+def test_out_of_range_index_rejected(alexnet_mini):
+    with pytest.raises(InvalidLayerError):
+        alexnet_mini.layer_name(0)
+    with pytest.raises(InvalidLayerError):
+        alexnet_mini.layer_name(99)
+
+
+def test_forward_full_output_shape(any_mini_model):
+    image = random_image(any_mini_model.input_shape)
+    out = any_mini_model.forward(image)
+    assert out.shape == any_mini_model.output_shape
+
+
+def test_forward_upto_matches_layer_shape(any_mini_model):
+    image = random_image(any_mini_model.input_shape)
+    for layer in any_mini_model.feature_layers:
+        out = any_mini_model.forward(image, upto=layer)
+        assert out.shape == any_mini_model.output_shape_of(layer)
+
+
+def test_partial_inference_composes(any_mini_model):
+    """f̂_{i→j}(f̂_{1→i}(t)) == f̂_{1→j}(t) — the identity Staged
+    execution relies on."""
+    model = any_mini_model
+    image = random_image(model.input_shape, seed=3)
+    lower, upper = model.feature_layers[0], model.feature_layers[-1]
+    via_lower = model.partial_forward(
+        model.forward(image, upto=lower), lower, upper
+    )
+    direct = model.forward(image, upto=upper)
+    np.testing.assert_allclose(via_lower, direct, rtol=1e-4, atol=1e-5)
+
+
+def test_partial_inference_every_consecutive_pair(resnet50_mini):
+    model = resnet50_mini
+    image = random_image(model.input_shape, seed=5)
+    current = None
+    previous = None
+    for layer in model.feature_layers:
+        if previous is None:
+            current = model.forward(image, upto=layer)
+        else:
+            current = model.partial_forward(current, previous, layer)
+        expected = model.forward(image, upto=layer)
+        np.testing.assert_allclose(current, expected, rtol=1e-3, atol=1e-4)
+        previous = layer
+
+
+def test_partial_inference_rejects_reversed_range(alexnet_mini):
+    image = random_image(alexnet_mini.input_shape)
+    fc7 = alexnet_mini.forward(image, upto="fc7")
+    with pytest.raises(InvalidLayerError):
+        alexnet_mini.partial_forward(fc7, "fc7", "conv5")
+
+
+def test_partial_from_zero_is_full_path(alexnet_mini):
+    image = random_image(alexnet_mini.input_shape)
+    np.testing.assert_allclose(
+        alexnet_mini.partial_forward(image, 0, "fc8"),
+        alexnet_mini.forward(image, upto="fc8"),
+        rtol=1e-5,
+    )
+
+
+def test_top_feature_layers_order(resnet50_mini):
+    top2 = resnet50_mini.top_feature_layers(2)
+    assert top2 == ["conv5_3", "fc6"]
+    with pytest.raises(InvalidLayerError):
+        resnet50_mini.top_feature_layers(99)
+    with pytest.raises(InvalidLayerError):
+        resnet50_mini.top_feature_layers(0)
+
+
+def test_flops_between_uses_profiles(alexnet_mini):
+    total = alexnet_mini.flops_between(0, "fc8")
+    partial = alexnet_mini.flops_between("conv5", "fc8")
+    to_conv5 = alexnet_mini.flops_between(0, "conv5")
+    assert total == partial + to_conv5
+    assert partial > 0
+
+
+def test_cnn_is_itself_a_tensorop(alexnet_mini):
+    image = random_image(alexnet_mini.input_shape)
+    np.testing.assert_allclose(
+        alexnet_mini(image), alexnet_mini.forward(image), rtol=1e-6
+    )
+
+
+def test_determinism_same_seed():
+    from repro.cnn import build_model
+
+    a = build_model("alexnet", profile="mini", seed=0)
+    b = build_model("alexnet", profile="mini", seed=0)
+    image = random_image(a.input_shape, seed=1)
+    np.testing.assert_array_equal(a.forward(image), b.forward(image))
+
+
+def test_different_seed_changes_weights():
+    from repro.cnn import build_model
+
+    a = build_model("alexnet", profile="mini", seed=0)
+    b = build_model("alexnet", profile="mini", seed=1)
+    image = random_image(a.input_shape, seed=1)
+    assert not np.array_equal(a.forward(image), b.forward(image))

@@ -1,0 +1,102 @@
+"""Unit tests for static shape/FLOP inference against the real
+published architecture numbers."""
+
+import pytest
+
+from repro.cnn.shapes import (
+    LayerSpec,
+    conv_output_hw,
+    profile_network,
+    total_flops,
+    total_params,
+)
+from repro.cnn.zoo import alexnet, resnet50, vgg16
+from repro.exceptions import ShapeError
+
+
+def test_conv_output_hw_basic():
+    assert conv_output_hw(227, 227, 11, 4, 0) == (55, 55)
+    assert conv_output_hw(224, 224, 7, 2, 3) == (112, 112)
+
+
+def test_conv_output_hw_rejects_collapse():
+    with pytest.raises(ShapeError):
+        conv_output_hw(2, 2, 5, 1, 0)
+
+
+def test_alexnet_layer_shapes():
+    profiles = profile_network(alexnet.full_specs(), alexnet.FULL_INPUT_SHAPE)
+    by_name = {p.name: p for p in profiles}
+    assert by_name["conv1"].output_shape == (55, 55, 96)
+    assert by_name["pool1"].output_shape == (27, 27, 96)
+    assert by_name["conv5"].output_shape == (13, 13, 256)
+    assert by_name["fc6"].output_shape == (4096,)
+    assert by_name["fc8"].output_shape == (1000,)
+
+
+def test_alexnet_param_count_matches_publication():
+    profiles = profile_network(alexnet.full_specs(), alexnet.FULL_INPUT_SHAPE)
+    # ~62M parameters (Krizhevsky et al. report 60M excluding biases).
+    assert 58e6 < total_params(profiles) < 65e6
+
+
+def test_vgg16_param_count_matches_publication():
+    profiles = profile_network(vgg16.full_specs(), vgg16.FULL_INPUT_SHAPE)
+    assert 135e6 < total_params(profiles) < 140e6  # canonical ~138M
+
+
+def test_vgg16_flops_match_publication():
+    profiles = profile_network(vgg16.full_specs(), vgg16.FULL_INPUT_SHAPE)
+    # ~15.5 GMACs = ~31 GFLOPs at 2 FLOPs per multiply-add.
+    assert 29e9 < total_flops(profiles) < 33e9
+
+
+def test_resnet50_param_count_matches_publication():
+    profiles = profile_network(
+        resnet50.full_specs(), resnet50.FULL_INPUT_SHAPE
+    )
+    assert 23e6 < total_params(profiles) < 27e6  # canonical ~25.6M
+
+
+def test_resnet50_stage_shapes():
+    profiles = profile_network(
+        resnet50.full_specs(), resnet50.FULL_INPUT_SHAPE
+    )
+    by_name = {p.name: p for p in profiles}
+    assert by_name["conv2_3"].output_shape == (56, 56, 256)
+    assert by_name["conv3_4"].output_shape == (28, 28, 512)
+    assert by_name["conv4_6"].output_shape == (14, 14, 1024)
+    assert by_name["conv5_3"].output_shape == (7, 7, 2048)
+    assert by_name["fc6"].output_shape == (2048,)
+
+
+def test_pool_layers_have_no_params():
+    profiles = profile_network(alexnet.full_specs(), alexnet.FULL_INPUT_SHAPE)
+    for profile in profiles:
+        if profile.kind in ("maxpool", "lrn", "flatten"):
+            assert profile.param_count == 0
+
+
+def test_flops_monotone_along_chain():
+    profiles = profile_network(
+        resnet50.full_specs(), resnet50.FULL_INPUT_SHAPE
+    )
+    assert all(p.flops >= 0 for p in profiles)
+
+
+def test_dense_requires_flat_input():
+    with pytest.raises(ShapeError):
+        profile_network(
+            [LayerSpec("fc", "dense", {"units": 10})], (4, 4, 2)
+        )
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ShapeError):
+        profile_network([LayerSpec("x", "warp")], (4, 4, 2))
+
+
+def test_output_size_property():
+    profiles = profile_network(alexnet.full_specs(), alexnet.FULL_INPUT_SHAPE)
+    conv5 = next(p for p in profiles if p.name == "conv5")
+    assert conv5.output_size == 13 * 13 * 256

@@ -1,0 +1,111 @@
+"""Unit tests for the model zoo and roster statistics."""
+
+import numpy as np
+import pytest
+
+from repro.cnn import MODEL_ROSTER, build_model, get_model_stats
+from repro.cnn.zoo.roster import GB
+from repro.exceptions import InvalidLayerError
+
+
+def test_roster_has_the_three_paper_models():
+    assert set(MODEL_ROSTER) == {"alexnet", "vgg16", "resnet50"}
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(InvalidLayerError):
+        get_model_stats("inception")
+    with pytest.raises(InvalidLayerError):
+        build_model("inception")
+
+
+def test_invalid_profile_rejected():
+    with pytest.raises(ValueError):
+        build_model("alexnet", profile="huge")
+
+
+@pytest.mark.parametrize("name,expected", [
+    ("alexnet", ["conv5", "fc6", "fc7", "fc8"]),
+    ("vgg16", ["fc6", "fc7", "fc8"]),
+    ("resnet50", ["conv4_6", "conv5_1", "conv5_2", "conv5_3", "fc6"]),
+])
+def test_paper_feature_layer_sets(name, expected):
+    assert get_model_stats(name).feature_layers == expected
+
+
+def test_mini_and_full_share_layer_names():
+    for name in MODEL_ROSTER:
+        mini = build_model(name, profile="mini")
+        stats = get_model_stats(name)
+        assert mini.feature_layers == stats.feature_layers
+
+
+def test_serialized_size_is_param_bytes():
+    stats = get_model_stats("vgg16")
+    assert stats.serialized_bytes == 4 * stats.total_params
+
+
+def test_runtime_footprint_exceeds_serialized():
+    """The paper: serialized formats underestimate in-memory size."""
+    for name in MODEL_ROSTER:
+        stats = get_model_stats(name)
+        assert stats.runtime_mem_bytes > stats.serialized_bytes
+
+
+def test_vgg_has_largest_runtime_footprint():
+    mems = {n: get_model_stats(n).runtime_mem_bytes for n in MODEL_ROSTER}
+    assert max(mems, key=mems.get) == "vgg16"
+
+
+def test_gpu_footprints_fit_titan_x_at_low_parallelism():
+    for name in MODEL_ROSTER:
+        assert get_model_stats(name).gpu_mem_bytes < 12 * GB
+
+
+def test_flops_between_consecutive_layers_positive():
+    stats = get_model_stats("resnet50")
+    layers = stats.feature_layers
+    for lower, upper in zip(layers, layers[1:]):
+        assert stats.flops_between(lower, upper) >= 0
+
+
+def test_flops_between_rejects_reversed():
+    stats = get_model_stats("alexnet")
+    with pytest.raises(InvalidLayerError):
+        stats.flops_between("fc8", "conv5")
+
+
+def test_transfer_dim_pools_conv_layers():
+    stats = get_model_stats("alexnet")
+    conv5 = stats.layer_stats("conv5")
+    assert conv5.output_shape == (13, 13, 256)
+    assert conv5.transfer_dim == 2 * 2 * 256  # pooled to a 2x2 grid
+    fc6 = stats.layer_stats("fc6")
+    assert fc6.transfer_dim == 4096  # flat layers pass through
+
+
+def test_materialized_bytes_unpooled():
+    stats = get_model_stats("resnet50")
+    assert stats.materialized_bytes("conv4_6") == 4 * 14 * 14 * 1024
+
+
+def test_lazy_redundancy_example_from_paper():
+    """Section 4.2.1: extracting fc7 independently of fc8 incurs ~99%
+    redundant computation, because fc8's path is a superset."""
+    stats = get_model_stats("alexnet")
+    fc7 = stats.layer_stats("fc7").flops_from_input
+    fc8 = stats.layer_stats("fc8").flops_from_input
+    assert fc7 / fc8 > 0.99
+
+
+def test_mini_models_execute_and_are_small():
+    for name in MODEL_ROSTER:
+        model = build_model(name, profile="mini")
+        image = np.zeros(model.input_shape, dtype=np.float32)
+        out = model.forward(image)
+        assert out.ndim == 1
+
+
+def test_profiles_attached_to_built_models():
+    model = build_model("resnet50", profile="mini")
+    assert len(model.profiles) == model.num_layers

@@ -1,0 +1,91 @@
+"""Unit tests for wave-based task execution and DL replica charges."""
+
+import pytest
+
+from repro.dataflow.context import ClusterContext, local_context
+from repro.dataflow.executor import (
+    charge_model_replicas,
+    group_by_worker,
+    run_partition_tasks,
+)
+from repro.dataflow.partition import Partition
+from repro.exceptions import DLExecutionMemoryExceeded, UserMemoryExceeded
+from repro.memory.model import GB, MemoryBudget, Region
+
+
+def _parts(n):
+    return [Partition.from_rows(i, [{"id": i}]) for i in range(n)]
+
+
+def test_group_by_worker_round_robin(ctx):
+    grouped = group_by_worker(ctx, _parts(6))
+    assert len(grouped) == 2
+    for worker, items in grouped.items():
+        assert all(p.index % 2 == worker.node_id for _, p in items)
+
+
+def test_results_in_partition_order(ctx):
+    parts = _parts(7)
+    results = run_partition_tasks(ctx, parts, lambda p: p.index * 10)
+    assert results == [i * 10 for i in range(7)]
+
+
+def test_wave_accounting_scales_with_cpu():
+    budget = MemoryBudget(
+        system_bytes=8 * GB, os_reserved_bytes=0, user_bytes=250,
+        core_bytes=1 * GB, storage_bytes=1 * GB, dl_bytes=1 * GB,
+    )
+    # cpu=1: one 100-byte charge at a time -> fits in 250.
+    ctx1 = ClusterContext(budget, num_nodes=1, cores_per_node=4, cpu=1)
+    run_partition_tasks(
+        ctx1, _parts(4), lambda p: None, charge_fn=lambda p, r: 100
+    )
+    # cpu=4: four concurrent 100-byte charges -> 400 > 250: crash.
+    ctx4 = ClusterContext(budget, num_nodes=1, cores_per_node=4, cpu=4)
+    with pytest.raises(UserMemoryExceeded):
+        run_partition_tasks(
+            ctx4, _parts(4), lambda p: None, charge_fn=lambda p, r: 100
+        )
+
+
+def test_charges_released_after_waves(ctx):
+    run_partition_tasks(
+        ctx, _parts(8), lambda p: None, charge_fn=lambda p, r: 1000
+    )
+    assert all(w.accountant.used(Region.USER) == 0 for w in ctx.workers)
+
+
+def test_charges_released_on_task_failure(ctx):
+    def boom(partition):
+        if partition.index == 3:
+            raise RuntimeError("task failed")
+        return None
+
+    with pytest.raises(RuntimeError):
+        run_partition_tasks(ctx, _parts(6), boom, charge_fn=lambda p, r: 10)
+    assert all(w.accountant.used(Region.USER) == 0 for w in ctx.workers)
+
+
+def test_tasks_run_counter(ctx):
+    run_partition_tasks(ctx, _parts(10), lambda p: None)
+    assert sum(w.tasks_run for w in ctx.workers) == 10
+
+
+def test_model_replica_charge_per_worker_scales_with_cpu():
+    budget = MemoryBudget(
+        system_bytes=8 * GB, os_reserved_bytes=0, user_bytes=GB,
+        core_bytes=GB, storage_bytes=GB, dl_bytes=1000,
+    )
+    ctx = ClusterContext(budget, num_nodes=2, cores_per_node=4, cpu=4)
+    with pytest.raises(DLExecutionMemoryExceeded):
+        charge_model_replicas(ctx, 300)  # 4 x 300 > 1000
+    # nothing left charged after the failed attempt
+    assert all(w.accountant.used(Region.DL) == 0 for w in ctx.workers)
+
+
+def test_model_replica_release():
+    ctx = local_context()
+    release = charge_model_replicas(ctx, 1000)
+    assert all(w.accountant.used(Region.DL) > 0 for w in ctx.workers)
+    release()
+    assert all(w.accountant.used(Region.DL) == 0 for w in ctx.workers)

@@ -1,0 +1,91 @@
+"""Tests for the DenseNet-mini DAG model and the minimal-live-cut
+property of the generalized staged schedule."""
+
+import numpy as np
+import pytest
+
+from repro.cnn.dag import run_staged, staged_schedule
+from repro.cnn.zoo.densenet import GROWTH_RATE, build_densenet_mini
+
+
+@pytest.fixture(scope="module")
+def densenet():
+    return build_densenet_mini()
+
+
+@pytest.fixture(scope="module")
+def image():
+    return np.random.default_rng(1).normal(size=(16, 16, 3)).astype(
+        np.float32
+    )
+
+
+def test_feature_nodes(densenet):
+    assert densenet.feature_nodes == ["block1_out", "block2_out", "head"]
+
+
+def test_dense_block_concat_widths(densenet):
+    """block1's transition consumes stem + 3 grown layers:
+    8 + 3 x growth channels."""
+    transition = densenet.nodes["block1_out"]
+    assert len(transition.inputs) == 4
+    assert transition.merge == "concat"
+    assert transition.op.input_shape[2] == 8 + 3 * GROWTH_RATE
+
+
+def test_forward_shapes(densenet, image):
+    out = densenet.forward(image)
+    assert out["block1_out"].shape == (16, 16, 10)
+    assert out["block2_out"].shape[0:2] == (8, 8)
+    assert out["head"].shape == (8,)
+
+
+def test_staged_matches_direct(densenet, image):
+    staged, _ = run_staged(densenet, image, densenet.feature_nodes)
+    direct = densenet.forward(image)
+    for name in direct:
+        np.testing.assert_allclose(
+            staged[name], direct[name], rtol=1e-4, atol=1e-5
+        )
+
+
+def test_schedule_runs_each_op_once(densenet):
+    steps = staged_schedule(densenet, densenet.feature_nodes)
+    computed = [n for step in steps for n in step.compute]
+    assert len(computed) == len(set(computed)) == len(densenet.nodes)
+
+
+def test_live_cut_is_minimal(densenet):
+    """After materializing a block output, everything upstream is
+    covered: the cut is exactly that one node."""
+    steps = staged_schedule(densenet, densenet.feature_nodes)
+    assert steps[0].keep == ("block1_out",)
+    assert steps[1].keep == ("block2_out",)
+    assert steps[2].keep == ()
+
+
+def test_peak_held_far_below_node_count(densenet, image):
+    _, peak = run_staged(densenet, image, densenet.feature_nodes)
+    assert peak <= 3 < len(densenet.nodes)
+
+
+def test_deterministic_build(image):
+    a = build_densenet_mini()
+    b = build_densenet_mini()
+    np.testing.assert_array_equal(
+        a.forward(image)["head"], b.forward(image)["head"]
+    )
+
+
+def test_partial_from_block1(densenet, image):
+    """Resuming from a materialized block1_out matches full inference —
+    partial DAG inference as a cross-session premat base."""
+    block1 = densenet.forward(image, targets=["block1_out"])
+    resumed = densenet.forward(
+        image, targets=["head"],
+        materialized={"block1_out": block1["block1_out"]},
+    )
+    direct = densenet.forward(image, targets=["head"])
+    np.testing.assert_allclose(
+        resumed["head"], direct["head"], rtol=1e-4, atol=1e-5
+    )

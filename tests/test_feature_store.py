@@ -1,0 +1,151 @@
+"""Tests for the disk-backed feature store (Appendix B workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.cnn import build_model
+from repro.core.config import VistaConfig
+from repro.core.executor import FeatureTransferExecutor
+from repro.core.plans import STAGED
+from repro.data import foods_dataset, replicate_dataset
+from repro.dataflow.context import local_context
+from repro.features.store import FeatureStore, dataset_fingerprint
+
+
+@pytest.fixture
+def store(tmp_path):
+    return FeatureStore(tmp_path / "features")
+
+
+def _rows(n=10, dim=8):
+    return [
+        {"id": i, "tensor": np.full(dim, float(i), dtype=np.float32)}
+        for i in range(n)
+    ]
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        ds = foods_dataset(num_records=20)
+        assert dataset_fingerprint(ds) == dataset_fingerprint(ds)
+
+    def test_differs_across_datasets(self):
+        a = foods_dataset(num_records=20)
+        b = foods_dataset(num_records=21)
+        assert dataset_fingerprint(a) != dataset_fingerprint(b)
+
+    def test_sensitive_to_image_content(self):
+        a = foods_dataset(num_records=20, seed=7)
+        b = foods_dataset(num_records=20, seed=8)
+        assert dataset_fingerprint(a) != dataset_fingerprint(b)
+
+    def test_replication_changes_fingerprint(self):
+        a = foods_dataset(num_records=10)
+        assert dataset_fingerprint(a) != dataset_fingerprint(
+            replicate_dataset(a, 2)
+        )
+
+
+class TestStore:
+    def test_put_get_roundtrip(self, store):
+        rows = _rows()
+        store.put("alexnet", "conv5", "fp1", rows)
+        back = store.get("alexnet", "conv5", "fp1")
+        assert len(back) == 10
+        np.testing.assert_array_equal(back[3]["tensor"], rows[3]["tensor"])
+
+    def test_miss_returns_none_and_counts(self, store):
+        assert store.get("alexnet", "conv5", "nope") is None
+        assert store.misses == 1
+        assert store.hits == 0
+
+    def test_hit_counting(self, store):
+        store.put("alexnet", "conv5", "fp1", _rows())
+        store.get("alexnet", "conv5", "fp1")
+        assert store.hits == 1
+
+    def test_contains(self, store):
+        assert not store.contains("m", "l", "f")
+        store.put("m", "l", "f", _rows())
+        assert store.contains("m", "l", "f")
+
+    def test_metadata(self, store):
+        store.put("resnet50", "conv4_6", "fpX", _rows(5))
+        meta = store.metadata("resnet50", "conv4_6", "fpX")
+        assert meta["num_rows"] == 5
+        assert meta["model"] == "resnet50"
+        assert meta["stored_bytes"] > 0
+
+    def test_entries_listing(self, store):
+        store.put("a", "l1", "f", _rows())
+        store.put("b", "l2", "f", _rows())
+        assert len(store.entries()) == 2
+
+    def test_evict(self, store):
+        store.put("a", "l1", "f", _rows())
+        store.evict("a", "l1", "f")
+        assert not store.contains("a", "l1", "f")
+        assert store.metadata("a", "l1", "f") is None
+
+    def test_total_bytes(self, store):
+        assert store.total_bytes() == 0
+        store.put("a", "l1", "f", _rows(50, dim=100))
+        assert store.total_bytes() > 0
+
+    def test_keys_isolated(self, store):
+        store.put("alexnet", "conv5", "fp1", _rows(3))
+        assert store.get("alexnet", "fc6", "fp1") is None
+        assert store.get("vgg16", "conv5", "fp1") is None
+        assert store.get("alexnet", "conv5", "fp2") is None
+
+
+class TestExecutorIntegration:
+    def _executor(self, dataset, store):
+        model = build_model("alexnet", profile="mini")
+        config = VistaConfig(
+            cpu=2, num_partitions=4, mem_storage_bytes=0,
+            mem_user_bytes=0, mem_dl_bytes=0, join="shuffle",
+            persistence="deserialized",
+        )
+        ctx = local_context(num_nodes=2, cores_per_node=4, cpu=2)
+        return FeatureTransferExecutor(
+            ctx, model, dataset, ["fc7", "fc8"], config,
+            downstream_fn=lambda f, l: {"matrix": f.copy()},
+            feature_store=store,
+        )
+
+    def test_first_run_populates_store(self, store):
+        dataset = foods_dataset(num_records=16)
+        result = self._executor(dataset, store).run(
+            STAGED, premat_layer="fc7"
+        )
+        assert result.metrics["premat_store_hit"] is False
+        fingerprint = dataset_fingerprint(dataset)
+        assert store.contains("alexnet", "fc7", fingerprint)
+
+    def test_second_run_reuses_store_and_skips_inference(self, store):
+        dataset = foods_dataset(num_records=16)
+        first = self._executor(dataset, store).run(
+            STAGED, premat_layer="fc7"
+        )
+        second = self._executor(dataset, store).run(
+            STAGED, premat_layer="fc7"
+        )
+        assert second.metrics["premat_store_hit"] is True
+        assert second.metrics["premat_flops"] == 0
+        # identical downstream features either way
+        for layer in ("fc7", "fc8"):
+            np.testing.assert_allclose(
+                second.layer_results[layer].downstream["matrix"],
+                first.layer_results[layer].downstream["matrix"],
+                rtol=1e-5,
+            )
+
+    def test_changed_dataset_misses_store(self, store):
+        self._executor(foods_dataset(num_records=16), store).run(
+            STAGED, premat_layer="fc7"
+        )
+        other = self._executor(
+            foods_dataset(num_records=16, seed=99), store
+        ).run(STAGED, premat_layer="fc7")
+        assert other.metrics["premat_store_hit"] is False

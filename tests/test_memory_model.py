@@ -1,0 +1,124 @@
+"""Unit tests for the abstract memory model and its Spark/Ignite
+mappings (Section 4.1, Figure 4)."""
+
+import pytest
+
+from repro.exceptions import (
+    DLExecutionMemoryExceeded,
+    DriverMemoryExceeded,
+    ExecutionMemoryExceeded,
+    UserMemoryExceeded,
+)
+from repro.memory.ignite import ignite_memory_budget
+from repro.memory.model import GB, MemoryAccountant, MemoryBudget, Region
+from repro.memory.spark import spark_budget_from_regions, spark_memory_budget
+
+
+def _budget(**overrides):
+    defaults = dict(
+        system_bytes=32 * GB, os_reserved_bytes=3 * GB, user_bytes=2 * GB,
+        core_bytes=2 * GB, storage_bytes=10 * GB, dl_bytes=14 * GB,
+        driver_bytes=4 * GB,
+    )
+    defaults.update(overrides)
+    return MemoryBudget(**defaults)
+
+
+def test_budget_validate_accepts_fitting_regions():
+    assert _budget().validate()
+
+
+def test_budget_validate_rejects_overcommit():
+    assert not _budget(dl_bytes=20 * GB).validate()
+
+
+def test_workload_bytes():
+    assert _budget().workload_bytes() == 14 * GB
+
+
+@pytest.mark.parametrize("region,exc", [
+    (Region.USER, UserMemoryExceeded),
+    (Region.CORE, ExecutionMemoryExceeded),
+    (Region.DL, DLExecutionMemoryExceeded),
+    (Region.DRIVER, DriverMemoryExceeded),
+])
+def test_region_overflow_raises_matching_crash(region, exc):
+    acc = MemoryAccountant(_budget())
+    with pytest.raises(exc):
+        acc.charge(region, 40 * GB)
+
+
+def test_storage_overflow_does_not_raise():
+    """Storage overflow is the storage manager's call (spill vs crash),
+    not an immediate exception."""
+    acc = MemoryAccountant(_budget())
+    acc.charge(Region.STORAGE, 40 * GB)  # no exception
+    assert acc.used(Region.STORAGE) == 40 * GB
+
+
+def test_charge_release_cycle():
+    acc = MemoryAccountant(_budget())
+    acc.charge(Region.USER, 1 * GB)
+    acc.release(Region.USER, 1 * GB)
+    assert acc.used(Region.USER) == 0
+    assert acc.peak(Region.USER) == 1 * GB
+
+
+def test_release_never_goes_negative():
+    acc = MemoryAccountant(_budget())
+    acc.release(Region.USER, 5 * GB)
+    assert acc.used(Region.USER) == 0
+
+
+def test_reservation_context_manager():
+    acc = MemoryAccountant(_budget())
+    with acc.reserve(Region.USER, 1 * GB):
+        assert acc.used(Region.USER) == 1 * GB
+    assert acc.used(Region.USER) == 0
+
+
+def test_reservation_releases_on_exception():
+    acc = MemoryAccountant(_budget())
+    with pytest.raises(RuntimeError):
+        with acc.reserve(Region.USER, 1 * GB):
+            raise RuntimeError("boom")
+    assert acc.used(Region.USER) == 0
+
+
+def test_available():
+    acc = MemoryAccountant(_budget())
+    acc.charge(Region.CORE, 1 * GB)
+    assert acc.available(Region.CORE) == 1 * GB
+
+
+def test_spark_default_split():
+    budget = spark_memory_budget(32 * GB, 29 * GB)
+    # 40% of heap to User; remainder split between Storage and Core.
+    assert budget.user_bytes == int(0.4 * 29 * GB)
+    assert budget.core_bytes + budget.storage_bytes == 29 * GB - budget.user_bytes
+    assert budget.storage_elastic
+
+
+def test_spark_dl_is_what_heap_leaves():
+    budget = spark_memory_budget(32 * GB, 29 * GB, os_reserved_bytes=3 * GB)
+    assert budget.dl_bytes == 0  # 29 + 3 == 32: nothing left for TF
+
+
+def test_spark_explicit_regions():
+    budget = spark_budget_from_regions(
+        32 * GB, user_bytes=2 * GB, core_bytes=2 * GB, storage_bytes=11 * GB
+    )
+    assert budget.dl_bytes == 32 * GB - 3 * GB - 15 * GB
+    assert budget.validate()
+
+
+def test_ignite_static_storage():
+    budget = ignite_memory_budget(32 * GB, 4 * GB, 25 * GB)
+    assert not budget.storage_elastic
+    assert budget.storage_bytes == 25 * GB
+    assert budget.dl_bytes == 0  # 3 + 4 + 25 == 32
+
+
+def test_ignite_user_core_split():
+    budget = ignite_memory_budget(32 * GB, 4 * GB, 20 * GB)
+    assert budget.user_bytes + budget.core_bytes == 4 * GB

@@ -1,0 +1,81 @@
+"""Unit tests for metrics and preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy_score, f1_score
+from repro.ml.preprocess import standardize, train_test_split
+
+
+class TestF1:
+    def test_perfect_prediction(self):
+        assert f1_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_all_wrong(self):
+        assert f1_score([1, 1, 0], [0, 0, 1]) == 0.0
+
+    def test_known_value(self):
+        # tp=1, fp=1, fn=1 -> F1 = 2/(2+1+1) = 0.5
+        assert f1_score([1, 1, 0], [1, 0, 1]) == 0.5
+
+    def test_undefined_returns_zero(self):
+        assert f1_score([0, 0], [0, 0]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            f1_score([1, 0], [1])
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy_score([1, 0, 1, 0], [1, 0, 0, 0]) == 0.75
+
+    def test_empty(self):
+        assert accuracy_score([], []) == 0.0
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, size=(200, 4))
+        scaled = standardize(data)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_is_safe(self):
+        data = np.ones((10, 2))
+        scaled = standardize(data)
+        assert np.isfinite(scaled).all()
+
+    def test_test_set_uses_train_statistics(self):
+        train = np.array([[0.0], [2.0]])
+        test = np.array([[1.0]])
+        train_s, test_s = standardize(train, test)
+        assert test_s[0, 0] == pytest.approx(0.0)
+
+
+class TestTrainTestSplit:
+    def test_split_sizes(self):
+        features = np.arange(100).reshape(100, 1)
+        labels = np.arange(100) % 2
+        xtr, xte, ytr, yte = train_test_split(features, labels, 0.2)
+        assert len(xtr) == 80 and len(xte) == 20
+        assert len(ytr) == 80 and len(yte) == 20
+
+    def test_partition_is_disjoint_and_complete(self):
+        features = np.arange(50).reshape(50, 1)
+        labels = np.zeros(50)
+        xtr, xte, _, _ = train_test_split(features, labels)
+        together = sorted(np.concatenate([xtr, xte]).ravel().tolist())
+        assert together == list(range(50))
+
+    def test_deterministic_given_seed(self):
+        features = np.arange(30).reshape(30, 1)
+        labels = np.zeros(30)
+        a = train_test_split(features, labels, seed=7)
+        b = train_test_split(features, labels, seed=7)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((5, 1)), np.zeros(4))

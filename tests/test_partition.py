@@ -1,0 +1,64 @@
+"""Unit tests for Partition serialization formats (Section 4.2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.partition import DESERIALIZED, SERIALIZED, Partition
+
+
+def _rows(n=10):
+    return [
+        {"id": i, "x": np.full(50, float(i), dtype=np.float32)}
+        for i in range(n)
+    ]
+
+
+def test_requires_rows_or_blob():
+    with pytest.raises(ValueError):
+        Partition(0)
+
+
+def test_roundtrip_through_serialized_form():
+    part = Partition.from_rows(0, _rows())
+    blob = part.serialized_blob()
+    restored = Partition(0, blob=blob)
+    assert len(restored) == 10
+    np.testing.assert_array_equal(restored.rows()[3]["x"], part.rows()[3]["x"])
+
+
+def test_serialized_smaller_than_deserialized_for_redundant_data():
+    part = Partition.from_rows(0, _rows(50))
+    assert part.memory_bytes(SERIALIZED) < part.memory_bytes(DESERIALIZED)
+
+
+def test_drop_rows_keeps_data_recoverable():
+    part = Partition.from_rows(0, _rows())
+    part.drop_rows()
+    assert part.rows()[0]["id"] == 0
+    assert part.deserialize_count == 1
+
+
+def test_serialize_count_tracks_conversions():
+    part = Partition.from_rows(0, _rows())
+    part.serialized_blob()
+    part.serialized_blob()  # cached, no second conversion
+    assert part.serialize_count == 1
+
+
+def test_drop_blob():
+    part = Partition.from_rows(0, _rows())
+    part.serialized_blob()
+    part.drop_blob()
+    assert part.memory_bytes(DESERIALIZED) > 0
+
+
+def test_memory_bytes_deserialized_uses_record_estimates():
+    from repro.dataflow.record import estimate_rows_bytes
+
+    rows = _rows(4)
+    part = Partition.from_rows(0, rows)
+    assert part.memory_bytes(DESERIALIZED) == estimate_rows_bytes(rows)
+
+
+def test_len(ctx=None):
+    assert len(Partition.from_rows(0, _rows(7))) == 7

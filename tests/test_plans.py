@@ -1,0 +1,63 @@
+"""Unit tests for the logical plan space (Section 4.2.1, Figure 5)."""
+
+import pytest
+
+from repro.cnn import get_model_stats
+from repro.core.plans import (
+    ALL_PLANS,
+    EAGER,
+    EAGER_REORDERED,
+    LAZY,
+    LAZY_REORDERED,
+    STAGED,
+    STAGED_BJ,
+    JoinPlacement,
+    Materialization,
+    plan_by_name,
+    redundant_flops,
+)
+
+
+def test_the_five_paper_plans_exist():
+    assert LAZY.materialization is Materialization.LAZY
+    assert LAZY.join_placement is JoinPlacement.BEFORE_JOIN
+    assert LAZY_REORDERED.join_placement is JoinPlacement.AFTER_JOIN
+    assert EAGER.materialization is Materialization.EAGER
+    assert EAGER_REORDERED.join_placement is JoinPlacement.AFTER_JOIN
+    assert STAGED.materialization is Materialization.STAGED
+    assert STAGED.join_placement is JoinPlacement.AFTER_JOIN
+
+
+def test_plan_labels():
+    assert STAGED.label == "staged/aj"
+    assert LAZY.label == "lazy/bj"
+    assert str(STAGED_BJ) == "staged/bj"
+
+
+def test_plan_by_name_roundtrip():
+    for name, plan in ALL_PLANS.items():
+        assert plan_by_name(name) is plan
+
+
+def test_plan_by_name_rejects_unknown():
+    with pytest.raises(ValueError):
+        plan_by_name("speculative")
+
+
+def test_redundancy_grows_with_layer_count():
+    stats = get_model_stats("resnet50")
+    layers = stats.feature_layers
+    redundancies = [
+        redundant_flops(stats, layers[-k:]) for k in range(1, len(layers) + 1)
+    ]
+    assert redundancies[0] == 0  # one layer: nothing to re-run
+    assert all(b >= a for a, b in zip(redundancies, redundancies[1:]))
+
+
+def test_alexnet_fc7_fc8_redundancy_example():
+    """Section 4.2.1's example: with L = {fc7, fc8}, Lazy redoes ~99%
+    of fc8's computation for fc7."""
+    stats = get_model_stats("alexnet")
+    redundancy = redundant_flops(stats, ["fc7", "fc8"])
+    fc8_path = stats.layer_stats("fc8").flops_from_input
+    assert redundancy / fc8_path > 0.99

@@ -1,0 +1,72 @@
+"""Unit tests for Tungsten-style record size estimation (Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.record import (
+    estimate_record_bytes,
+    estimate_rows_bytes,
+    estimate_value_bytes,
+)
+from repro.tensor.tensorlist import TensorList
+
+
+def test_fixed_fields_are_one_slot():
+    # bitmap (8) + 2 fields x 8 bytes
+    assert estimate_record_bytes({"id": 1, "y": 2.0}) == 24
+
+
+def test_array_field_header_plus_payload():
+    row = {"id": 1, "x": np.zeros(10, dtype=np.float32)}
+    # bitmap + id slot + x slot(header) + 40B payload
+    assert estimate_record_bytes(row) == 8 + 8 + 8 + 40
+
+
+def test_paper_example_layout():
+    """Figure 14's example: PK + structured features + image features."""
+    row = {
+        "pk": 1234,
+        "structured": np.zeros(3, dtype=np.float32),
+        "image_features": np.zeros(3, dtype=np.float32),
+    }
+    assert estimate_record_bytes(row) == 8 + 8 + (8 + 12) + (8 + 12)
+
+
+def test_tensorlist_field():
+    tlist = TensorList([np.zeros((2, 2), dtype=np.float32), np.zeros(4)])
+    nbytes = estimate_value_bytes(tlist)
+    assert nbytes == 16 + 32 + 2 * 8  # payloads + per-tensor headers
+
+
+def test_bytes_and_str_fields():
+    assert estimate_value_bytes(b"abcd") == 4
+    assert estimate_value_bytes("héllo") == len("héllo".encode("utf-8"))
+
+
+def test_none_and_scalars_are_fixed():
+    assert estimate_value_bytes(None) == 0
+    assert estimate_value_bytes(3) == 0
+    assert estimate_value_bytes(2.5) == 0
+    assert estimate_value_bytes(np.float32(1.0)) == 0
+
+
+def test_nested_list_field():
+    assert estimate_value_bytes([1, 2, 3]) == 3 * 8
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(TypeError):
+        estimate_value_bytes(object())
+
+
+def test_rows_bytes_sums():
+    rows = [{"id": i} for i in range(5)]
+    assert estimate_rows_bytes(rows) == 5 * 16
+
+
+def test_estimate_is_upper_bound_for_float32_payload():
+    """The estimator must be a safe upper bound on raw payload bytes
+    (Figure 15's 'safe margin' property)."""
+    features = np.random.default_rng(0).normal(size=100).astype(np.float32)
+    row = {"id": 1, "features": features}
+    assert estimate_record_bytes(row) >= features.nbytes

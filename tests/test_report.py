@@ -1,0 +1,63 @@
+"""Tests for the ASCII chart renderer."""
+
+import math
+
+from repro.report import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        chart = bar_chart("t", [("alexnet", 2.5), ("vgg16", 7.5)])
+        assert "alexnet" in chart
+        assert "7.5" in chart
+
+    def test_bars_proportional(self):
+        chart = bar_chart("t", [("a", 1.0), ("b", 4.0)], width=40)
+        lines = chart.splitlines()
+        bar_a = lines[1].count("#")
+        bar_b = lines[2].count("#")
+        assert bar_b == 4 * bar_a
+
+    def test_crash_cells_marked(self):
+        chart = bar_chart("t", [("ok", 2.0), ("boom", math.inf)])
+        assert "X (crash)" in chart
+
+    def test_none_marks_crash_too(self):
+        assert "X (crash)" in bar_chart("t", [("a", None)])
+
+    def test_all_crashed(self):
+        chart = bar_chart("t", [("a", None), ("b", math.inf)])
+        assert chart.count("X (crash)") == 2
+
+    def test_unit_suffix(self):
+        assert "3.0min" in bar_chart("t", [("a", 3.0)], unit="min")
+
+
+class TestLineChart:
+    def test_renders_axes_and_legend(self):
+        chart = line_chart(
+            "speedup", {"vgg16": [1, 2, 4, 7], "alexnet": [1, 1.5, 2, 3]},
+            xs=[1, 2, 4, 8],
+        )
+        assert "speedup" in chart
+        assert "vgg16" in chart and "alexnet" in chart
+        assert "7.0" in chart and "1.0" in chart
+
+    def test_markers_differ_per_series(self):
+        chart = line_chart(
+            "t", {"a": [1, 2], "b": [2, 1]}, xs=[0, 1]
+        )
+        assert "*" in chart and "+" in chart
+
+    def test_handles_crash_points(self):
+        chart = line_chart(
+            "t", {"a": [1.0, math.inf, 3.0]}, xs=[1, 2, 3]
+        )
+        assert "3.0" in chart  # inf excluded from scaling
+
+    def test_empty_series(self):
+        assert "(no data)" in line_chart("t", {"a": [math.inf]}, xs=[1])
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        chart = line_chart("t", {"a": [2.0, 2.0]}, xs=[0, 1])
+        assert "2.0" in chart

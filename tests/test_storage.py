@@ -1,0 +1,102 @@
+"""Unit tests for the storage manager: LRU eviction, spills, and the
+memory-only crash path."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.partition import Partition
+from repro.dataflow.storage import StorageManager
+from repro.exceptions import StorageMemoryExceeded
+
+
+def _partition(index, nbytes=1000):
+    # Each float32 element contributes 4 bytes of payload.
+    rows = [{"id": index, "x": np.zeros(nbytes // 4, dtype=np.float32)}]
+    return Partition.from_rows(index, rows)
+
+
+def test_cache_and_get():
+    storage = StorageManager(10_000)
+    part = _partition(0)
+    storage.cache("a", part)
+    assert storage.get("a") is part
+    assert storage.used_bytes > 0
+
+
+def test_miss_returns_none():
+    storage = StorageManager(10_000)
+    assert storage.get("missing") is None
+
+
+def test_lru_eviction_spills_oldest():
+    storage = StorageManager(3_000)
+    for index in range(4):
+        storage.cache(f"p{index}", _partition(index, 1000))
+    assert storage.spilled_bytes_total > 0
+    assert "p0" in storage.spilled_keys()
+    assert "p3" in storage.cached_keys()
+
+
+def test_touch_protects_recently_used():
+    storage = StorageManager(2_500)
+    storage.cache("a", _partition(0, 1000))
+    storage.cache("b", _partition(1, 1000))
+    storage.get("a")  # a becomes most recent
+    storage.cache("c", _partition(2, 1000))
+    assert "b" in storage.spilled_keys()
+    assert "a" in storage.cached_keys()
+
+
+def test_spilled_partition_read_back_is_metered():
+    storage = StorageManager(2_000)
+    storage.cache("a", _partition(0, 1500))
+    storage.cache("b", _partition(1, 1500))  # evicts a
+    assert storage.get("a") is not None
+    assert storage.spill_read_bytes_total > 0
+
+
+def test_memory_only_overflow_crashes():
+    storage = StorageManager(2_000, spill_enabled=False)
+    storage.cache("a", _partition(0, 1500))
+    with pytest.raises(StorageMemoryExceeded):
+        storage.cache("b", _partition(1, 1500))
+
+
+def test_memory_only_oversized_partition_crashes():
+    storage = StorageManager(1_000, spill_enabled=False)
+    with pytest.raises(StorageMemoryExceeded):
+        storage.cache("a", _partition(0, 5_000))
+
+
+def test_evict_releases_capacity():
+    storage = StorageManager(2_000)
+    storage.cache("a", _partition(0, 1500))
+    used = storage.used_bytes
+    storage.evict("a")
+    assert storage.used_bytes == used - used
+    assert storage.get("a") is None
+
+
+def test_recache_same_key_is_idempotent():
+    storage = StorageManager(10_000)
+    part = _partition(0)
+    storage.cache("a", part)
+    used = storage.used_bytes
+    storage.cache("a", part)
+    assert storage.used_bytes == used
+
+
+def test_peak_tracking():
+    storage = StorageManager(10_000)
+    storage.cache("a", _partition(0, 2000))
+    storage.cache("b", _partition(1, 2000))
+    storage.evict("a")
+    assert storage.peak_bytes >= storage.used_bytes
+
+
+def test_clear():
+    storage = StorageManager(10_000)
+    storage.cache("a", _partition(0))
+    storage.clear()
+    assert storage.used_bytes == 0
+    assert storage.get("a") is None

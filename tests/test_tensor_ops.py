@@ -1,0 +1,101 @@
+"""Unit tests for TensorOp, FlattenOp, and grid max pooling
+(Definitions 3.3 and 3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.tensor.ops import FlattenOp, IdentityOp, TensorOp, grid_max_pool
+
+
+class _Doubler(TensorOp):
+    def __init__(self, shape):
+        super().__init__(shape, shape, name="doubler")
+
+    def apply(self, tensor):
+        return tensor * 2
+
+
+class _WrongShape(TensorOp):
+    def __init__(self):
+        super().__init__((2, 2), (3, 3), name="liar")
+
+    def apply(self, tensor):
+        return tensor  # declares (3, 3) but returns (2, 2)
+
+
+def test_tensorop_applies_function():
+    op = _Doubler((2, 3))
+    out = op(np.ones((2, 3)))
+    assert np.array_equal(out, 2 * np.ones((2, 3)))
+
+
+def test_tensorop_rejects_incompatible_shape():
+    op = _Doubler((2, 3))
+    with pytest.raises(ShapeError):
+        op(np.ones((3, 2)))
+
+
+def test_tensorop_shape_compatibility_predicate():
+    op = _Doubler((4,))
+    assert op.is_shape_compatible(np.zeros(4))
+    assert not op.is_shape_compatible(np.zeros(5))
+
+
+def test_tensorop_validates_declared_output_shape():
+    with pytest.raises(ShapeError):
+        _WrongShape()(np.ones((2, 2)))
+
+
+def test_tensorop_output_size():
+    assert _Doubler((3, 4)).output_size == 12
+
+
+def test_identity_op_passthrough():
+    op = IdentityOp((5,))
+    data = np.arange(5.0)
+    assert np.array_equal(op(data), data)
+
+
+def test_flatten_op_produces_vector():
+    op = FlattenOp((2, 3, 4))
+    out = op(np.arange(24.0).reshape(2, 3, 4))
+    assert out.shape == (24,)
+    assert np.array_equal(out, np.arange(24.0))
+
+
+def test_flatten_op_preserves_row_major_order():
+    tensor = np.array([[1.0, 2.0], [3.0, 4.0]])
+    assert np.array_equal(FlattenOp((2, 2))(tensor), [1.0, 2.0, 3.0, 4.0])
+
+
+def test_grid_max_pool_reduces_to_grid():
+    tensor = np.arange(64.0).reshape(4, 4, 4)
+    pooled = grid_max_pool(tensor, grid=2)
+    assert pooled.shape == (2, 2, 4)
+
+
+def test_grid_max_pool_takes_blockwise_max():
+    tensor = np.zeros((4, 4, 1))
+    tensor[0, 0, 0] = 7.0   # top-left block
+    tensor[3, 3, 0] = 9.0   # bottom-right block
+    pooled = grid_max_pool(tensor, grid=2)
+    assert pooled[0, 0, 0] == 7.0
+    assert pooled[1, 1, 0] == 9.0
+
+
+def test_grid_max_pool_passes_small_tensors_through():
+    tensor = np.ones((1, 1, 8))
+    assert grid_max_pool(tensor, grid=2) is tensor
+
+
+def test_grid_max_pool_rejects_non_3d():
+    with pytest.raises(ShapeError):
+        grid_max_pool(np.ones((4, 4)))
+
+
+def test_grid_max_pool_uneven_dims():
+    tensor = np.random.default_rng(0).normal(size=(5, 7, 2))
+    pooled = grid_max_pool(tensor, grid=2)
+    assert pooled.shape == (2, 2, 2)
+    assert pooled.max() == pytest.approx(tensor.max())

@@ -1,0 +1,64 @@
+"""Unit tests for TensorList (Definition 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.tensorlist import TensorList
+
+
+@pytest.fixture
+def tlist():
+    return TensorList([np.zeros((2, 3)), np.ones(4, dtype=np.float32)])
+
+
+def test_len_and_indexing(tlist):
+    assert len(tlist) == 2
+    assert tlist[0].shape == (2, 3)
+    assert tlist[1].shape == (4,)
+
+
+def test_shapes(tlist):
+    assert tlist.shapes() == [(2, 3), (4,)]
+
+
+def test_nbytes_sums_members(tlist):
+    assert tlist.nbytes() == np.zeros((2, 3)).nbytes + 16
+
+
+def test_num_elements(tlist):
+    assert tlist.num_elements() == 10
+
+
+def test_append_is_persistent(tlist):
+    longer = tlist.append(np.zeros(2))
+    assert len(tlist) == 2
+    assert len(longer) == 3
+
+
+def test_flatten_concat_order():
+    tlist = TensorList([np.array([[1.0, 2.0]]), np.array([3.0])])
+    assert np.array_equal(tlist.flatten_concat(), [1.0, 2.0, 3.0])
+
+
+def test_flatten_concat_empty():
+    assert TensorList([]).flatten_concat().shape == (0,)
+
+
+def test_equality_by_content():
+    a = TensorList([np.arange(3.0)])
+    b = TensorList([np.arange(3.0)])
+    c = TensorList([np.arange(4.0)])
+    assert a == b
+    assert a != c
+    assert a != TensorList([np.arange(3.0), np.arange(3.0)])
+
+
+def test_hash_consistent_with_equality():
+    a = TensorList([np.arange(3.0)])
+    b = TensorList([np.arange(3.0)])
+    assert hash(a) == hash(b)
+
+
+def test_iteration(tlist):
+    shapes = [t.shape for t in tlist]
+    assert shapes == [(2, 3), (4,)]
