@@ -1,0 +1,114 @@
+"""Microbenchmark: per-image vs batched NHWC inference kernels.
+
+Times full-network inference over the AlexNet/VGG16/ResNet50 zoo two
+ways — one image at a time through ``CNN.forward`` versus one
+``CNN.forward_batch`` call per batch — verifies the two paths agree
+(allclose at float32), and writes ``BENCH_kernels.json`` at the repo
+root so future PRs have a perf trajectory to compare against.
+
+The committed result file is intentionally tracked in git: it is the
+perf record, not a scratch artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--quick]
+        [--profile mini|full] [--batch N] [--repeats R]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from harness import print_table, time_block, write_results  # noqa: E402
+
+from repro.cnn import build_model  # noqa: E402
+
+MODELS = ("alexnet", "vgg16", "resnet50")
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_kernels.json",
+)
+
+
+def bench_model(name, profile, batch_size, repeats):
+    """Time per-image vs batched inference for one zoo model."""
+    model = build_model(name, profile=profile)
+    rng = np.random.default_rng(0)
+    batch = rng.normal(size=(batch_size,) + model.input_shape).astype(
+        np.float32
+    )
+    # correctness first: both paths must agree before we time them
+    batched_out = model.forward_batch(batch)
+    per_image_out = np.stack([model.forward(image) for image in batch])
+    np.testing.assert_allclose(
+        batched_out, per_image_out, rtol=1e-4, atol=1e-5,
+        err_msg=f"{name}: batched and per-image inference diverged",
+    )
+    with time_block() as per_image:
+        for _ in range(repeats):
+            for image in batch:
+                model.forward(image)
+    with time_block() as batched:
+        for _ in range(repeats):
+            model.forward_batch(batch)
+    return {
+        "model": name,
+        "profile": profile,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "per_image_seconds": per_image.seconds,
+        "batched_seconds": batched.seconds,
+        "speedup": per_image.seconds / batched.seconds,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats; skip writing the result file")
+    parser.add_argument("--profile", default="mini",
+                        choices=("mini", "full"))
+    parser.add_argument("--batch", type=int, default=64)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+    repeats = args.repeats or (1 if args.quick else 5)
+
+    results = [
+        bench_model(name, args.profile, args.batch, repeats)
+        for name in MODELS
+    ]
+    print_table(
+        f"Kernel microbenchmark ({args.profile} profile, "
+        f"batch={args.batch}, repeats={repeats})",
+        ["model", "per-image s", "batched s", "speedup"],
+        [
+            (
+                r["model"],
+                f"{r['per_image_seconds']:.4f}",
+                f"{r['batched_seconds']:.4f}",
+                f"{r['speedup']:.1f}x",
+            )
+            for r in results
+        ],
+    )
+
+    best = max(r["speedup"] for r in results)
+    if args.batch >= 32:
+        assert best >= 3.0, (
+            f"batched kernels only {best:.1f}x faster than per-image at "
+            f"batch {args.batch}; expected >= 3x"
+        )
+    if not args.quick:
+        write_results(RESULT_PATH, {"results": results})
+        print(f"\nwrote {RESULT_PATH}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

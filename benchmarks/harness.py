@@ -8,6 +8,10 @@ crash, where crossovers fall.
 
 from __future__ import annotations
 
+import json
+import time
+from contextlib import contextmanager
+
 from repro.cnn import get_model_stats
 from repro.core.config import DatasetStats
 
@@ -60,3 +64,44 @@ def print_table(title, headers, rows):
 def fmt_minutes(report):
     """Figure-6 style cell: minutes or X on crash."""
     return report.cell()
+
+
+class Timing:
+    """Mutable wall-clock result filled in when a time_block exits."""
+
+    def __init__(self, label=None):
+        self.label = label
+        self.seconds = None
+
+    def __repr__(self):
+        if self.seconds is None:
+            return f"<Timing {self.label}: running>"
+        return f"<Timing {self.label}: {self.seconds:.4f}s>"
+
+
+@contextmanager
+def time_block(label=None, sink=None):
+    """Time a block of code; yields a :class:`Timing` whose ``seconds``
+    is set when the block exits.
+
+    With ``sink`` (a dict), the elapsed seconds are also recorded under
+    ``label`` so benches can accumulate wall-clock numbers alongside
+    their paper-shape assertions.
+    """
+    timing = Timing(label)
+    start = time.perf_counter()
+    try:
+        yield timing
+    finally:
+        timing.seconds = time.perf_counter() - start
+        if sink is not None:
+            sink[label] = timing.seconds
+
+
+def write_results(path, payload):
+    """Write one bench's JSON result file (sorted keys, trailing
+    newline) so successive runs diff cleanly."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -4,6 +4,14 @@ Each class here is a :class:`~repro.tensor.ops.TensorOp` over (H, W, C)
 feature tensors (or flat vectors for dense layers). Convolution uses
 im2col + matmul; everything is plain numpy, single precision.
 
+Every layer also implements the batched NHWC contract
+(``apply_batch`` over an (N, H, W, C) stack): convolution does one
+batch-wide im2col and a single large GEMM, pooling takes 5-d strided
+windows over the batch axis, and the pointwise ops broadcast. Batching
+amortizes per-image kernel overheads — the SystemML-style batched
+matrix formulation of conv layers — and is what the partition-level
+executor path runs on.
+
 The ResNet bottleneck block is a *composite* TensorOp so that the CNN
 as a whole remains an indexed chain (Def. 3.4) even though internally
 the block is a small DAG — exactly the simplification the paper's
@@ -18,11 +26,21 @@ from repro.tensor.ops import TensorOp
 from repro.cnn.shapes import conv_output_hw
 
 
-def _pad_hw(tensor, padding):
+def _pad_hw(tensor, padding, value=0.0):
     if padding == 0:
         return tensor
     return np.pad(
-        tensor, ((padding, padding), (padding, padding), (0, 0)), mode="constant"
+        tensor, ((padding, padding), (padding, padding), (0, 0)),
+        mode="constant", constant_values=value,
+    )
+
+
+def _pad_hw_batch(batch, padding, value=0.0):
+    if padding == 0:
+        return batch
+    return np.pad(
+        batch, ((0, 0), (padding, padding), (padding, padding), (0, 0)),
+        mode="constant", constant_values=value,
     )
 
 
@@ -43,6 +61,27 @@ def _im2col(tensor, kernel, stride, out_h, out_w):
         writeable=False,
     )
     return windows.reshape(out_h * out_w, kernel * kernel * c)
+
+
+def _im2col_batch(batch, kernel, stride, out_h, out_w):
+    """Extract (N*out_h*out_w, kernel*kernel*C) patches from a whole
+    (N, H, W, C) batch at once."""
+    n, h, w, c = batch.shape
+    strides = batch.strides
+    windows = np.lib.stride_tricks.as_strided(
+        batch,
+        shape=(n, out_h, out_w, kernel, kernel, c),
+        strides=(
+            strides[0],
+            strides[1] * stride,
+            strides[2] * stride,
+            strides[1],
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    return windows.reshape(n * out_h * out_w, kernel * kernel * c)
 
 
 class Conv2D(TensorOp):
@@ -72,8 +111,21 @@ class Conv2D(TensorOp):
         out = cols @ self._wmat + self.bias
         return out.reshape(out_h, out_w, self.filters)
 
+    def apply_batch(self, batch):
+        out_h, out_w, _ = self.output_shape
+        n = batch.shape[0]
+        padded = _pad_hw_batch(
+            batch.astype(np.float32, copy=False), self.padding
+        )
+        cols = _im2col_batch(padded, self.kernel, self.stride, out_h, out_w)
+        out = cols @ self._wmat + self.bias
+        return out.reshape(n, out_h, out_w, self.filters)
+
 
 class _Pool2D(TensorOp):
+    #: Constant used to fill spatial padding before windowing.
+    pad_value = 0.0
+
     def __init__(self, input_shape, kernel, stride=None, padding=0, name="pool"):
         h, w, c = input_shape
         stride = stride or kernel
@@ -85,7 +137,7 @@ class _Pool2D(TensorOp):
 
     def _windows(self, tensor):
         out_h, out_w, c = self.output_shape
-        padded = _pad_hw(tensor, self.padding)
+        padded = _pad_hw(tensor, self.padding, self.pad_value)
         strides = padded.strides
         return np.lib.stride_tricks.as_strided(
             padded,
@@ -100,23 +152,45 @@ class _Pool2D(TensorOp):
             writeable=False,
         )
 
+    def _windows_batch(self, batch):
+        out_h, out_w, c = self.output_shape
+        padded = _pad_hw_batch(batch, self.padding, self.pad_value)
+        strides = padded.strides
+        return np.lib.stride_tricks.as_strided(
+            padded,
+            shape=(batch.shape[0], out_h, out_w, self.kernel, self.kernel, c),
+            strides=(
+                strides[0],
+                strides[1] * self.stride,
+                strides[2] * self.stride,
+                strides[1],
+                strides[2],
+                strides[3],
+            ),
+            writeable=False,
+        )
+
 
 class MaxPool2D(_Pool2D):
     """Max pooling. Padding uses -inf so pads never win the max."""
 
+    pad_value = -np.inf
+
     def apply(self, tensor):
-        if self.padding > 0:
-            tensor = tensor.copy()
-        windows = self._windows(tensor)
-        return windows.max(axis=(2, 3))
+        return self._windows(tensor).max(axis=(2, 3))
+
+    def apply_batch(self, batch):
+        return self._windows_batch(batch).max(axis=(3, 4))
 
 
 class AvgPool2D(_Pool2D):
     """Average pooling (zero-padded)."""
 
     def apply(self, tensor):
-        windows = self._windows(tensor)
-        return windows.mean(axis=(2, 3), dtype=np.float32)
+        return self._windows(tensor).mean(axis=(2, 3), dtype=np.float32)
+
+    def apply_batch(self, batch):
+        return self._windows_batch(batch).mean(axis=(3, 4), dtype=np.float32)
 
 
 class GlobalAvgPool(TensorOp):
@@ -129,6 +203,10 @@ class GlobalAvgPool(TensorOp):
     def apply(self, tensor):
         return tensor.mean(axis=(0, 1), dtype=np.float32).reshape(1, 1, -1)
 
+    def apply_batch(self, batch):
+        out = batch.mean(axis=(1, 2), dtype=np.float32)
+        return out.reshape(batch.shape[0], 1, 1, -1)
+
 
 class ReLU(TensorOp):
     """Rectified linear non-linearity."""
@@ -139,9 +217,19 @@ class ReLU(TensorOp):
     def apply(self, tensor):
         return np.maximum(tensor, 0.0)
 
+    def apply_batch(self, batch):
+        return np.maximum(batch, 0.0)
+
 
 class LocalResponseNorm(TensorOp):
-    """AlexNet-style local response normalization across channels."""
+    """AlexNet-style local response normalization across channels.
+
+    The cross-channel sum-of-squares is a sliding-window sum over the
+    (last) channel axis, so the same vectorized kernel serves both the
+    per-image and the batched path. Out-of-range channels contribute
+    exact zeros, which keeps results identical to the windowed-slice
+    formulation.
+    """
 
     def __init__(self, shape, depth_radius=2, bias=2.0, alpha=1e-4, beta=0.75,
                  name="lrn"):
@@ -151,16 +239,26 @@ class LocalResponseNorm(TensorOp):
         self.alpha = alpha
         self.beta = beta
 
-    def apply(self, tensor):
+    def _normalize(self, tensor):
         squared = np.square(tensor)
         channels = tensor.shape[-1]
-        scale = np.empty_like(tensor)
-        for c in range(channels):
-            lo = max(0, c - self.depth_radius)
-            hi = min(channels, c + self.depth_radius + 1)
-            scale[..., c] = squared[..., lo:hi].sum(axis=-1)
+        radius = self.depth_radius
+        padded = np.zeros(
+            tensor.shape[:-1] + (channels + 2 * radius,), dtype=squared.dtype
+        )
+        padded[..., radius:radius + channels] = squared
+        windows = np.lib.stride_tricks.sliding_window_view(
+            padded, 2 * radius + 1, axis=-1
+        )
+        scale = windows.sum(axis=-1)
         denom = np.power(self.bias + self.alpha * scale, self.beta)
         return (tensor / denom).astype(np.float32)
+
+    def apply(self, tensor):
+        return self._normalize(tensor)
+
+    def apply_batch(self, batch):
+        return self._normalize(batch)
 
 
 class Flatten(TensorOp):
@@ -173,6 +271,9 @@ class Flatten(TensorOp):
 
     def apply(self, tensor):
         return np.ascontiguousarray(tensor).reshape(-1)
+
+    def apply_batch(self, batch):
+        return np.ascontiguousarray(batch).reshape(batch.shape[0], -1)
 
 
 class Dense(TensorOp):
@@ -191,6 +292,12 @@ class Dense(TensorOp):
 
     def apply(self, tensor):
         out = tensor @ self.weights + self.bias
+        if self.relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+    def apply_batch(self, batch):
+        out = batch @ self.weights + self.bias
         if self.relu:
             np.maximum(out, 0.0, out=out)
         return out
@@ -241,6 +348,15 @@ class BottleneckBlock(TensorOp):
         branch = np.maximum(self.conv3(branch), 0.0)
         branch = self.expand(branch)
         identity = self.shortcut(tensor) if self.shortcut else tensor
+        return np.maximum(branch + identity, 0.0)
+
+    def apply_batch(self, batch):
+        branch = np.maximum(self.reduce.apply_batch(batch), 0.0)
+        branch = np.maximum(self.conv3.apply_batch(branch), 0.0)
+        branch = self.expand.apply_batch(branch)
+        identity = (
+            self.shortcut.apply_batch(batch) if self.shortcut else batch
+        )
         return np.maximum(branch + identity, 0.0)
 
     def param_count(self):

@@ -86,6 +86,9 @@ class CNN(TensorOp):
     def apply(self, tensor):
         return self.forward(tensor)
 
+    def apply_batch(self, batch):
+        return self.forward_batch(batch)
+
     def forward(self, tensor, upto=None):
         """Run inference through layer ``upto`` (name or index);
         the whole network if omitted. This is ``f̂_l`` (Def. 3.4)."""
@@ -96,6 +99,20 @@ class CNN(TensorOp):
             out = op(out)
         return out
 
+    def forward_batch(self, batch, upto=None):
+        """Batched inference over an (N, H, W, C) image stack through
+        layer ``upto``; the whole network if omitted.
+
+        Each layer runs its vectorized ``apply_batch`` kernel once per
+        batch instead of once per image, amortizing kernel overheads.
+        """
+        stop = self._resolve(upto) if upto is not None else self.num_layers
+        self._check_index(stop)
+        out = np.asarray(batch, dtype=np.float32)
+        for op in self.layers[:stop]:
+            out = op.call_batch(out)
+        return out
+
     def partial_forward(self, tensor, start, upto):
         """Partial CNN inference ``f̂_{i→j}`` (Definition 3.7).
 
@@ -103,6 +120,22 @@ class CNN(TensorOp):
         resumes at layer ``start + 1``) and runs through layer ``upto``.
         ``start=0`` means start from the raw image.
         """
+        begin, stop = self._partial_range(start, upto)
+        out = np.asarray(tensor, dtype=np.float32)
+        for op in self.layers[begin:stop]:
+            out = op(out)
+        return out
+
+    def partial_forward_batch(self, batch, start, upto):
+        """Batched partial inference ``f̂_{i→j}`` over an (N, ...) stack
+        of layer-``start`` outputs (``start=0``: raw images)."""
+        begin, stop = self._partial_range(start, upto)
+        out = np.asarray(batch, dtype=np.float32)
+        for op in self.layers[begin:stop]:
+            out = op.call_batch(out)
+        return out
+
+    def _partial_range(self, start, upto):
         begin = self._resolve(start) if start else 0
         stop = self._resolve(upto)
         if begin:
@@ -112,10 +145,7 @@ class CNN(TensorOp):
             raise InvalidLayerError(
                 f"partial inference needs start <= upto, got {begin} > {stop}"
             )
-        out = np.asarray(tensor, dtype=np.float32)
-        for op in self.layers[begin:stop]:
-            out = op(out)
-        return out
+        return begin, stop
 
     def flops_between(self, start, upto, profiles=None):
         """FLOPs of ``f̂_{start→upto}`` given the layer profiles from

@@ -85,6 +85,11 @@ class _FusedReLUConv(L.Conv2D):
         np.maximum(out, 0.0, out=out)
         return out
 
+    def apply_batch(self, batch):
+        out = super().apply_batch(batch)
+        np.maximum(out, 0.0, out=out)
+        return out
+
 
 def build_from_specs(name, specs, input_shape, feature_layers, seed=0):
     """Build an executable :class:`CNN` from a spec chain.

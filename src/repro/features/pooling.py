@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tensor.ops import grid_max_pool
+from repro.tensor.ops import grid_max_pool, grid_max_pool_batch
 
 
 def pool_feature_tensor(tensor, grid=2):
@@ -19,3 +19,12 @@ def pool_feature_tensor(tensor, grid=2):
     if tensor.ndim == 3:
         tensor = grid_max_pool(tensor, grid=grid)
     return tensor.reshape(-1)
+
+
+def pool_feature_tensor_batch(batch, grid=2):
+    """Batched :func:`pool_feature_tensor` over an (N, ...) stack of
+    same-shape feature tensors; returns an (N, transfer_dim) matrix."""
+    batch = np.asarray(batch)
+    if batch.ndim == 4:
+        batch = grid_max_pool_batch(batch, grid=grid)
+    return batch.reshape(batch.shape[0], -1)

@@ -18,6 +18,11 @@ class TensorOp:
 
     Subclasses implement :meth:`apply`. Shapes exclude any batch
     dimension: an op over a 3-d image tensor has a 3-tuple shape.
+
+    Ops may additionally override :meth:`apply_batch`, the batched
+    NHWC entry point over an ``(N, *input_shape)`` stack; the default
+    falls back to looping :meth:`apply` over the batch axis, so every
+    op is batch-callable even without a vectorized kernel.
     """
 
     def __init__(self, input_shape, output_shape, name=None):
@@ -37,8 +42,24 @@ class TensorOp:
                 f"shape-compatible with expected input {self.input_shape}"
             )
 
+    def check_batch_shape(self, batch):
+        if batch.ndim != 1 + len(self.input_shape) or \
+                tuple(batch.shape[1:]) != self.input_shape:
+            raise ShapeError(
+                f"{self.name}: batch of shape {tuple(batch.shape)} is not "
+                f"shape-compatible with expected input "
+                f"(N, {', '.join(str(d) for d in self.input_shape)})"
+            )
+
     def apply(self, tensor):
         raise NotImplementedError
+
+    def apply_batch(self, batch):
+        """Apply the op to an ``(N, *input_shape)`` stack of tensors.
+
+        Loop fallback; vectorized ops override this.
+        """
+        return np.stack([self.apply(tensor) for tensor in batch])
 
     def __call__(self, tensor):
         self.check_shape(tensor)
@@ -47,6 +68,20 @@ class TensorOp:
             raise ShapeError(
                 f"{self.name}: produced shape {tuple(out.shape)}, "
                 f"declared {self.output_shape}"
+            )
+        return out
+
+    def call_batch(self, batch):
+        """Shape-checked batched application (the batch analogue of
+        ``__call__``)."""
+        batch = np.asarray(batch)
+        self.check_batch_shape(batch)
+        out = self.apply_batch(batch)
+        expected = (batch.shape[0],) + self.output_shape
+        if tuple(out.shape) != expected:
+            raise ShapeError(
+                f"{self.name}: produced batch shape {tuple(out.shape)}, "
+                f"declared {expected}"
             )
         return out
 
@@ -71,6 +106,9 @@ class IdentityOp(TensorOp):
     def apply(self, tensor):
         return tensor
 
+    def apply_batch(self, batch):
+        return batch
+
 
 class FlattenOp(TensorOp):
     """Flattens a tensor into a vector (Definition 3.5).
@@ -85,6 +123,9 @@ class FlattenOp(TensorOp):
 
     def apply(self, tensor):
         return np.ascontiguousarray(tensor).reshape(-1)
+
+    def apply_batch(self, batch):
+        return np.ascontiguousarray(batch).reshape(batch.shape[0], -1)
 
 
 def grid_max_pool(tensor, grid=2):
@@ -110,4 +151,31 @@ def grid_max_pool(tensor, grid=2):
                 row_edges[i]:row_edges[i + 1], col_edges[j]:col_edges[j + 1], :
             ]
             out[i, j, :] = block.max(axis=(0, 1))
+    return out
+
+
+def grid_max_pool_batch(batch, grid=2):
+    """Batched :func:`grid_max_pool` over an (N, H, W, C) stack; the
+    grid cells are vectorized over the whole batch axis.
+
+    Degenerate inputs smaller than the grid are returned unchanged,
+    matching the per-image behaviour.
+    """
+    if batch.ndim != 4:
+        raise ShapeError(
+            f"grid_max_pool_batch expects a 4-d batch, got {batch.ndim}-d"
+        )
+    num, height, width, channels = batch.shape
+    if height < grid or width < grid:
+        return batch
+    out = np.empty((num, grid, grid, channels), dtype=batch.dtype)
+    row_edges = np.linspace(0, height, grid + 1, dtype=int)
+    col_edges = np.linspace(0, width, grid + 1, dtype=int)
+    for i in range(grid):
+        for j in range(grid):
+            block = batch[
+                :, row_edges[i]:row_edges[i + 1],
+                col_edges[j]:col_edges[j + 1], :,
+            ]
+            out[:, i, j, :] = block.max(axis=(1, 2))
     return out

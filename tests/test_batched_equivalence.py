@@ -1,0 +1,121 @@
+"""Batched-vs-per-image equivalence: ``forward_batch`` must reproduce
+stacked per-image ``forward`` (allclose at float32) for every zoo
+model, including partial inference ``f̂_{i→j}`` slices, batch size 1,
+and the ragged final partition the executor's partition-level batching
+produces."""
+
+import numpy as np
+import pytest
+
+from repro.cnn import build_model
+from repro.core.config import VistaConfig
+from repro.core.executor import FeatureTransferExecutor
+from repro.core.plans import STAGED
+from repro.data import foods_dataset
+from repro.dataflow.context import local_context
+from repro.features.pooling import pool_feature_tensor, pool_feature_tensor_batch
+from repro.tensor.ops import TensorOp, grid_max_pool, grid_max_pool_batch
+
+
+def _batch(model, size, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(size,) + model.input_shape).astype(np.float32)
+
+
+@pytest.mark.parametrize("batch_size", [1, 5])
+def test_forward_batch_matches_stacked_forward(any_mini_model, batch_size):
+    model = any_mini_model
+    batch = _batch(model, batch_size)
+    batched = model.forward_batch(batch)
+    stacked = np.stack([model.forward(image) for image in batch])
+    np.testing.assert_allclose(batched, stacked, rtol=1e-4, atol=1e-5)
+
+
+def test_forward_batch_upto_feature_layers(any_mini_model):
+    model = any_mini_model
+    batch = _batch(model, 3)
+    for layer in model.feature_layers:
+        batched = model.forward_batch(batch, upto=layer)
+        stacked = np.stack(
+            [model.forward(image, upto=layer) for image in batch]
+        )
+        np.testing.assert_allclose(batched, stacked, rtol=1e-4, atol=1e-5)
+
+
+def test_partial_forward_batch_slices(any_mini_model):
+    """f̂_{i→j} between consecutive feature layers, batched, must match
+    the per-image partial path."""
+    model = any_mini_model
+    batch = _batch(model, 4)
+    previous = None
+    current = batch
+    for layer in model.feature_layers:
+        batched = model.partial_forward_batch(current, previous or 0, layer)
+        stacked = np.stack([
+            model.partial_forward(member, previous or 0, layer)
+            for member in current
+        ])
+        np.testing.assert_allclose(batched, stacked, rtol=1e-4, atol=1e-5)
+        current = batched
+        previous = layer
+
+
+def test_apply_batch_default_is_loop_fallback():
+    """Ops without a vectorized kernel still batch via the loop
+    default."""
+
+    class Doubler(TensorOp):
+        def apply(self, tensor):
+            return tensor * 2.0
+
+    op = Doubler((3, 3, 2), (3, 3, 2))
+    batch = np.arange(36, dtype=np.float32).reshape(2, 3, 3, 2)
+    out = op.call_batch(batch)
+    np.testing.assert_array_equal(out, batch * 2.0)
+
+
+def test_grid_max_pool_batch_matches_per_image():
+    rng = np.random.default_rng(3)
+    batch = rng.normal(size=(7, 6, 5, 4)).astype(np.float32)
+    batched = grid_max_pool_batch(batch)
+    stacked = np.stack([grid_max_pool(t) for t in batch])
+    np.testing.assert_array_equal(batched, stacked)
+
+
+def test_pool_feature_tensor_batch_matches_per_image():
+    rng = np.random.default_rng(4)
+    conv = rng.normal(size=(5, 6, 6, 3)).astype(np.float32)
+    flat = rng.normal(size=(5, 12)).astype(np.float32)
+    for batch in (conv, flat):
+        batched = pool_feature_tensor_batch(batch)
+        stacked = np.stack([pool_feature_tensor(t) for t in batch])
+        np.testing.assert_array_equal(batched, stacked)
+
+
+def test_ragged_final_partition_matches_direct_inference():
+    """A workload whose row count doesn't divide the partition count
+    exercises ragged batches; features must equal direct per-image
+    inference."""
+    dataset = foods_dataset(num_records=13)
+    model = build_model("alexnet", profile="mini")
+    config = VistaConfig(
+        cpu=2, num_partitions=5, mem_storage_bytes=10**9,
+        mem_user_bytes=10**9, mem_dl_bytes=10**9, join="shuffle",
+        persistence="deserialized",
+    )
+    ctx = local_context(num_nodes=2, cores_per_node=4, cpu=2)
+    executor = FeatureTransferExecutor(
+        ctx, model, dataset, ["fc7"], config,
+        downstream_fn=lambda f, l: {"matrix": f.copy()},
+    )
+    matrix = executor.run(STAGED).layer_results["fc7"].downstream["matrix"]
+    structured = sorted(dataset.structured_rows, key=lambda r: r["id"])
+    images = {row["id"]: row["image"] for row in dataset.image_rows}
+    expected = np.stack([
+        np.concatenate([
+            np.asarray(row["features"], dtype=np.float32),
+            pool_feature_tensor(model.forward(images[row["id"]], upto="fc7")),
+        ])
+        for row in structured
+    ])
+    np.testing.assert_allclose(matrix, expected, rtol=1e-4, atol=1e-5)

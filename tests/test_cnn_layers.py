@@ -58,6 +58,18 @@ def test_maxpool_with_stride():
     assert out[0, 0, 0] == 12.0
 
 
+def test_maxpool_pads_with_neg_inf():
+    """Regression: zero padding must never beat negative activations
+    (the docstring always promised -inf pads)."""
+    tensor = np.full((2, 2, 1), -3.0, dtype=np.float32)
+    pool = L.MaxPool2D((2, 2, 1), 2, stride=2, padding=1)
+    out = pool(tensor)
+    assert out.shape == (2, 2, 1)
+    np.testing.assert_array_equal(out, np.full((2, 2, 1), -3.0))
+    batched = pool.apply_batch(tensor[None, ...])
+    np.testing.assert_array_equal(batched[0], out)
+
+
 def test_avgpool_values():
     tensor = np.arange(16.0, dtype=np.float32).reshape(4, 4, 1)
     out = L.AvgPool2D((4, 4, 1), 2)(tensor)
