@@ -1,0 +1,173 @@
+"""Benchmark: recovery overhead under seeded fault injection.
+
+Runs one small end-to-end feature-transfer workload fault-free, then
+replays it under each injected fault class — task crashes, a transient
+OOM storm that forces one degradation-ladder step, worker loss, and a
+straggler — through the :class:`~repro.core.resilient.ResilientRunner`
+supervisor. For every scenario it verifies the recovered per-layer
+feature matrices are bit-identical to the fault-free run, then reports
+wall-clock overhead, extra tasks executed, recovery-log counts, and
+the simulated seconds spent in backoff/stragglers.
+
+Writes ``BENCH_recovery.json`` at the repo root so future PRs have a
+recovery-overhead trajectory to compare against. The committed result
+file is intentionally tracked in git: it is the perf record, not a
+scratch artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py [--quick]
+        [--records N] [--repeats R]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from harness import print_table, time_block, write_results  # noqa: E402
+
+from repro.core.api import Vista, default_resources  # noqa: E402
+from repro.data import foods_dataset  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_recovery.json",
+)
+
+SEED = 7
+
+
+def _scenarios():
+    """label -> FaultPlan factory (fresh plan per run: the injector
+    tracks firing budgets per rule object)."""
+    return {
+        "fault-free": lambda: None,
+        "task-crash": lambda: FaultPlan().task_crash(
+            partition=1, attempt=1, times=3
+        ),
+        "oom-degrade": lambda: FaultPlan().task_oom(
+            partition=0, attempt=None, times=4
+        ),
+        "worker-loss": lambda: FaultPlan().worker_loss(worker=1),
+        "straggler": lambda: FaultPlan().straggler(
+            partition=2, delay_s=30.0
+        ),
+    }
+
+
+def make_vista(records):
+    return Vista(
+        model_name="alexnet", num_layers=2,
+        dataset=foods_dataset(num_records=records),
+        resources=default_resources(num_nodes=2),
+        downstream_fn=lambda features, labels: {"matrix": features.copy()},
+    )
+
+
+def run_scenario(label, plan_factory, records, repeats, baseline_matrices):
+    seconds = []
+    result = None
+    for _ in range(repeats):
+        vista = make_vista(records)
+        plan = plan_factory()
+        with time_block() as timing:
+            result = vista.run_resilient(fault_plan=plan, seed=SEED)
+        seconds.append(timing.seconds)
+    if baseline_matrices is not None:
+        for layer, matrix in baseline_matrices.items():
+            recovered = result.layer_results[layer].downstream["matrix"]
+            assert np.array_equal(recovered, matrix), (
+                f"{label}: features diverged on {layer} after recovery"
+            )
+    log = result.metrics["recovery_log"]
+    count = lambda kind: sum(1 for e in log if e["event"] == kind)  # noqa: E731
+    return {
+        "scenario": label,
+        "wall_seconds": min(seconds),
+        "tasks_run": result.metrics["tasks_run"],
+        "workload_attempts": result.metrics["recovery_attempts"],
+        "task_retries": count("task_retry"),
+        "blacklists": count("blacklist"),
+        "degrades": count("degrade"),
+        "sim_recovery_seconds": result.metrics.get("sim_time_s", 0.0),
+        "faults_injected": result.metrics.get("faults_injected", {}),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats; skip writing the result file")
+    parser.add_argument("--records", type=int, default=48)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+    repeats = args.repeats or (1 if args.quick else 5)
+
+    baseline_matrices = {
+        layer: lr.downstream["matrix"]
+        for layer, lr in make_vista(args.records).run().layer_results.items()
+    }
+
+    results = []
+    for label, factory in _scenarios().items():
+        results.append(run_scenario(
+            label, factory, args.records, repeats, baseline_matrices
+        ))
+    base_wall = next(
+        r["wall_seconds"] for r in results if r["scenario"] == "fault-free"
+    )
+    for r in results:
+        r["overhead_x"] = r["wall_seconds"] / base_wall
+    base_tasks = next(
+        r["tasks_run"] for r in results if r["scenario"] == "fault-free"
+    )
+
+    print_table(
+        f"Recovery overhead ({args.records} records, repeats={repeats}, "
+        f"seed={SEED}; features bit-identical in every scenario)",
+        ["scenario", "wall s", "overhead", "attempts", "retries",
+         "blacklists", "degrades", "sim s"],
+        [
+            (
+                r["scenario"],
+                f"{r['wall_seconds']:.4f}",
+                f"{r['overhead_x']:.2f}x",
+                r["workload_attempts"],
+                r["task_retries"],
+                r["blacklists"],
+                r["degrades"],
+                f"{r['sim_recovery_seconds']:.1f}",
+            )
+            for r in results
+        ],
+    )
+
+    by_scenario = {r["scenario"]: r for r in results}
+    assert by_scenario["task-crash"]["task_retries"] > 0
+    assert by_scenario["oom-degrade"]["degrades"] == 1
+    assert by_scenario["oom-degrade"]["workload_attempts"] == 2
+    assert by_scenario["worker-loss"]["blacklists"] == 1
+    assert by_scenario["straggler"]["sim_recovery_seconds"] >= 30.0
+    # recovery re-executes work: faulty scenarios never run fewer tasks
+    assert all(r["tasks_run"] >= base_tasks for r in results)
+
+    if not args.quick:
+        write_results(RESULT_PATH, {
+            "records": args.records,
+            "repeats": repeats,
+            "seed": SEED,
+            "results": results,
+        })
+        print(f"\nwrote {RESULT_PATH}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

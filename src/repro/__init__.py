@@ -18,6 +18,7 @@ Public API highlights:
 
 from repro.core import (
     Vista,
+    ResilientRunner,
     Resources,
     DatasetStats,
     VistaConfig,
@@ -30,13 +31,18 @@ from repro.exceptions import (
     VistaError,
     WorkloadCrash,
 )
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DatasetStats",
+    "FaultInjector",
+    "FaultPlan",
     "NoFeasiblePlan",
+    "ResilientRunner",
     "Resources",
+    "RetryPolicy",
     "Vista",
     "VistaConfig",
     "VistaError",

@@ -10,6 +10,7 @@ from repro.core.config import (
 )
 from repro.core.executor import FeatureTransferExecutor, WorkloadResult
 from repro.core.optimizer import optimize
+from repro.core.resilient import ResilientRunner, degrade_once
 from repro.core.plans import (
     ALL_PLANS,
     EAGER,
@@ -34,6 +35,7 @@ __all__ = [
     "LAZY",
     "LAZY_REORDERED",
     "LogicalPlan",
+    "ResilientRunner",
     "Resources",
     "STAGED",
     "STAGED_BJ",
@@ -42,6 +44,7 @@ __all__ = [
     "VistaConfig",
     "WorkloadResult",
     "default_resources",
+    "degrade_once",
     "estimate_sizes",
     "optimize",
     "plan_by_name",

@@ -142,6 +142,27 @@ class Vista:
         )
         return executor.run(plan or self.plan, premat_layer=premat_layer)
 
+    def run_resilient(self, plan=None, premat_layer=None, fault_plan=None,
+                      seed=0, retry_policy=None, max_attempts=16,
+                      feature_store=None):
+        """Run under the :class:`~repro.core.resilient.ResilientRunner`
+        supervisor: transient task failures are retried from lineage,
+        lost workers are blacklisted, and Section 4.1 crashes are
+        recovered via the degradation ladder. ``fault_plan`` (a
+        :class:`~repro.faults.FaultPlan`) injects deterministic faults
+        for testing; the result's ``metrics["recovery_log"]`` records
+        every recovery step taken.
+        """
+        from repro.core.resilient import ResilientRunner
+
+        runner = ResilientRunner(
+            self, fault_plan=fault_plan, seed=seed,
+            retry_policy=retry_policy, max_attempts=max_attempts,
+        )
+        return runner.run(
+            plan=plan, premat_layer=premat_layer, feature_store=feature_store
+        )
+
 
 def default_resources(num_nodes=8, system_gb=32, cores=8, gpu_gb=0):
     """The paper's CloudLab worker spec: 32 GB RAM, 8 cores per node."""

@@ -188,13 +188,20 @@ class FeatureTransferExecutor:
 
     def _run_eager(self, plan, source, source_field, source_layer):
         all_layers = self.layers
-        sample = source.partitions[0].rows()
-        if sample and isinstance(sample[0].get(source_field), TensorList):
-            raise NotImplementedError(
-                "Eager materialization with multiple images per record "
-                "is not supported (it would need nested TensorLists); "
-                "use the Lazy or Staged plans"
-            )
+        # Sniff the first *non-empty* partition: partition 0 may be
+        # empty (skewed keys, tiny tables) and an all-empty table has
+        # nothing to reject.
+        for partition in source.partitions:
+            rows = partition.rows()
+            if not rows:
+                continue
+            if isinstance(rows[0].get(source_field), TensorList):
+                raise NotImplementedError(
+                    "Eager materialization with multiple images per record "
+                    "is not supported (it would need nested TensorLists); "
+                    "use the Lazy or Staged plans"
+                )
+            break
 
         def materialize_partition(rows):
             if not rows:
@@ -448,3 +455,10 @@ class FeatureTransferExecutor:
                 ),
             }
         )
+        recovery = getattr(context, "recovery_log", None)
+        if recovery is not None:
+            self.metrics["recovery_log"] = [dict(e) for e in recovery]
+        injector = getattr(context, "fault_injector", None)
+        if injector is not None:
+            self.metrics["sim_time_s"] = injector.clock.now
+            self.metrics["faults_injected"] = dict(injector.injected)

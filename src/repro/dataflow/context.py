@@ -24,6 +24,7 @@ class Worker:
             budget.storage_bytes, spill_enabled=budget.storage_elastic
         )
         self.tasks_run = 0
+        self.task_failures = 0
 
     def __repr__(self):
         return f"<Worker {self.node_id}>"
@@ -53,9 +54,35 @@ class ClusterContext:
         self.workers = [Worker(i, budget) for i in range(self.num_nodes)]
         self.driver = MemoryAccountant(budget)
         self._next_table_id = 0
+        #: Node ids of lost/blacklisted workers; partitions that would
+        #: land on an excluded worker fail over deterministically to
+        #: the next live node in ring order.
+        self.excluded_workers = set()
 
     def worker_for(self, partition_index):
-        return self.workers[partition_index % self.num_nodes]
+        if not self.excluded_workers:
+            return self.workers[partition_index % self.num_nodes]
+        for offset in range(self.num_nodes):
+            worker = self.workers[(partition_index + offset) % self.num_nodes]
+            if worker.node_id not in self.excluded_workers:
+                return worker
+        from repro.exceptions import ClusterExhausted
+
+        raise ClusterExhausted(
+            f"all {self.num_nodes} workers are lost or blacklisted; "
+            "provision replacement machines"
+        )
+
+    def blacklist_worker(self, node_id):
+        """Exclude a worker from task placement (worker loss or
+        repeated task failures)."""
+        self.excluded_workers.add(int(node_id))
+
+    def live_workers(self):
+        return [
+            w for w in self.workers
+            if w.node_id not in self.excluded_workers
+        ]
 
     def total_cores(self):
         return self.cpu * self.num_nodes
@@ -71,11 +98,14 @@ class ClusterContext:
         return sum(w.storage.spill_read_bytes_total for w in self.workers)
 
     def reset_metrics(self):
+        # Metric counters only: a lost worker (excluded_workers) stays
+        # lost across runs on the same context.
         for worker in self.workers:
             worker.storage.spilled_bytes_total = 0
             worker.storage.spill_read_bytes_total = 0
             worker.storage.eviction_count = 0
             worker.tasks_run = 0
+            worker.task_failures = 0
             worker.accountant.reset_peaks()
 
     def __repr__(self):

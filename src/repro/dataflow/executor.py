@@ -1,4 +1,4 @@
-"""Task execution with wave-based memory accounting.
+"""Task execution with wave-based memory accounting and fault recovery.
 
 Tasks over partitions run deterministically (sequentially) but are
 *accounted* as if ``cpu`` tasks per worker run concurrently: tasks are
@@ -8,19 +8,54 @@ accountants raise the Section 4.1 crash exceptions if a wave's
 combined footprint overflows a region. This reproduces the paper's
 "higher parallelism -> bigger footprint -> crash" behaviour without
 nondeterministic threading.
+
+On top of that sits the recovery layer. Because every table in this
+engine is eagerly materialized, a task's input partition *is* its
+lineage — re-running ``task_fn`` on the parent partition recomputes
+the lost output exactly, the way Spark rebuilds a lost partition from
+its RDD lineage. The scheduler therefore:
+
+- retries **transient** task failures (injected crashes/OOMs from a
+  :class:`~repro.faults.injector.FaultInjector`, real
+  :class:`~repro.exceptions.TransientTaskOOM`) with capped exponential
+  backoff on the simulated clock, up to
+  ``RetryPolicy.max_task_attempts``;
+- on :class:`~repro.exceptions.WorkerLost` discards the in-flight
+  wave, blacklists the worker on the context, and fails its remaining
+  partitions over to live workers (``ClusterContext.worker_for``'s
+  exclusion ring);
+- blacklists a worker after ``RetryPolicy.max_failures_per_worker``
+  task failures (never the last live worker);
+- re-raises deterministic Section 4.1 memory crashes unchanged — task
+  retry cannot shrink a structural footprint; that is the
+  degrade-and-retry supervisor's job — and wraps any other task error
+  in a structured :class:`~repro.exceptions.TaskFailure`.
+
+Every recovery action is appended to the context's
+:class:`~repro.faults.retry.RecoveryLog` (if one is attached) with a
+simulated timestamp.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.exceptions import TaskFailure, WorkerLost, WorkloadCrash
+from repro.faults.clock import SimulatedClock
+from repro.faults.retry import RetryPolicy
 from repro.memory.model import Region
+
+_DEFAULT_POLICY = RetryPolicy()
 
 
 def group_by_worker(context, partitions):
     """Group (position, partition) pairs by their assigned worker."""
+    return _group_pairs(context, enumerate(partitions))
+
+
+def _group_pairs(context, pairs):
     grouped = defaultdict(list)
-    for position, partition in enumerate(partitions):
+    for position, partition in pairs:
         grouped[context.worker_for(partition.index)].append(
             (position, partition)
         )
@@ -38,32 +73,162 @@ def run_partition_tasks(context, partitions, task_fn, region=Region.USER,
 
     ``charge_fn(partition, result) -> bytes`` gives the per-task memory
     footprint charged to ``region`` on that partition's worker for the
-    duration of its wave. Results are returned in partition order.
+    duration of its wave. Results are returned in partition order;
+    transient failures are retried from lineage as described in the
+    module docstring.
     """
     results = [None] * len(partitions)
-    for worker, items in group_by_worker(context, partitions).items():
-        for wave in _waves(items, context.cpu):
-            charged = 0
-            try:
-                for position, partition in wave:
-                    result = task_fn(partition)
-                    results[position] = result
-                    worker.tasks_run += 1
-                    if charge_fn is not None:
-                        nbytes = charge_fn(partition, result)
-                        # count before charging: charge() increments
-                        # used before raising, so the finally block
-                        # must release it either way
-                        charged += nbytes
-                        worker.accountant.charge(region, nbytes, what=what)
-            finally:
-                worker.accountant.release(region, charged)
+    injector = getattr(context, "fault_injector", None)
+    policy = getattr(context, "retry_policy", None) or _DEFAULT_POLICY
+    recovery = getattr(context, "recovery_log", None)
+    clock = injector.clock if injector is not None else SimulatedClock()
+    attempts = defaultdict(int)
+    pending = list(enumerate(partitions))
+    while pending:
+        retry_next = []
+        # Regrouping each round is what reassigns a blacklisted
+        # worker's partitions: worker_for skips excluded nodes.
+        for worker, items in _group_pairs(context, pending).items():
+            _run_worker_share(
+                context, worker, items, task_fn, region, charge_fn, what,
+                results, attempts, retry_next, policy, injector, recovery,
+                clock,
+            )
+        pending = retry_next
     return results
+
+
+def _run_worker_share(context, worker, items, task_fn, region, charge_fn,
+                      what, results, attempts, retry_next, policy, injector,
+                      recovery, clock):
+    """Run one worker's partitions in waves of ``context.cpu``."""
+    for start in range(0, len(items), context.cpu):
+        wave = items[start:start + context.cpu]
+        try:
+            if injector is not None:
+                injector.on_wave_start(worker.node_id, what=what)
+            wave_results = _run_wave(
+                context, worker, wave, task_fn, region, charge_fn, what,
+                attempts, retry_next, policy, injector, recovery, clock,
+            )
+        except WorkerLost as loss:
+            # The in-flight wave dies with the worker; everything this
+            # worker had not finished fails over to live workers.
+            _record(recovery, clock, "worker_lost", table=what,
+                    worker=worker.node_id, fault=str(loss))
+            context.blacklist_worker(worker.node_id)
+            _record(recovery, clock, "blacklist", worker=worker.node_id,
+                    reason="worker lost")
+            scheduled = {position for position, _ in retry_next}
+            retry_next.extend(
+                pair for pair in items[start:] if pair[0] not in scheduled
+            )
+            return
+        for position, result in wave_results:
+            results[position] = result
+        if worker.node_id in context.excluded_workers:
+            # Blacklisted mid-wave by the failure threshold: committed
+            # waves stand, the rest of the share is reassigned.
+            scheduled = {position for position, _ in retry_next}
+            retry_next.extend(
+                pair for pair in items[start + context.cpu:]
+                if pair[0] not in scheduled
+            )
+            return
+
+
+def _run_wave(context, worker, wave, task_fn, region, charge_fn, what,
+              attempts, retry_next, policy, injector, recovery, clock):
+    """Run one wave; returns the (position, result) pairs that
+    succeeded. Transient failures are scheduled on ``retry_next``
+    while the rest of the wave keeps running (concurrent peers finish
+    in a real cluster); WorkerLost propagates to the caller."""
+    charged = 0
+    wave_results = []
+    try:
+        for position, partition in wave:
+            attempt = attempts[partition.index] = attempts[partition.index] + 1
+            try:
+                if injector is not None:
+                    injector.on_task_start(
+                        what=what, partition_index=partition.index,
+                        worker_id=worker.node_id, attempt=attempt,
+                    )
+                result = task_fn(partition)
+                worker.tasks_run += 1
+                if charge_fn is not None:
+                    nbytes = charge_fn(partition, result)
+                    # count before charging: charge() increments used
+                    # before raising, so the finally block must
+                    # release it either way
+                    charged += nbytes
+                    worker.accountant.charge(region, nbytes, what=what)
+            except WorkerLost:
+                raise
+            except Exception as exc:
+                _handle_task_failure(
+                    context, worker, position, partition, attempt, exc,
+                    retry_next, policy, recovery, clock, what,
+                )
+            else:
+                wave_results.append((position, result))
+    finally:
+        worker.accountant.release(region, charged)
+    return wave_results
+
+
+def _handle_task_failure(context, worker, position, partition, attempt, exc,
+                         retry_next, policy, recovery, clock, what):
+    """Decide a failed task's fate: retry from lineage, hand a
+    deterministic memory crash to the supervisor, or raise a
+    structured TaskFailure."""
+    if getattr(exc, "transient", False) and attempt < policy.max_task_attempts:
+        worker.task_failures += 1
+        backoff = policy.backoff_s(attempt)
+        clock.advance(backoff)
+        _record(recovery, clock, "task_retry", table=what,
+                partition=partition.index, worker=worker.node_id,
+                attempt=attempt, fault=type(exc).__name__,
+                backoff_s=backoff)
+        if worker.task_failures == policy.max_failures_per_worker:
+            _maybe_blacklist(context, worker, recovery, clock)
+        retry_next.append((position, partition))
+        return
+    if isinstance(exc, WorkloadCrash):
+        # Structural memory overflow (or a transient one out of retry
+        # budget): typed for the degrade-and-retry supervisor.
+        raise exc
+    raise TaskFailure(
+        partition_index=partition.index, worker_id=worker.node_id,
+        attempt=attempt, cause=exc,
+    ) from exc
+
+
+def _maybe_blacklist(context, worker, recovery, clock):
+    """Blacklist a repeatedly failing worker — unless it is the last
+    one standing, in which case the cluster limps on."""
+    if worker.node_id in context.excluded_workers:
+        return
+    survivors = [
+        w for w in context.live_workers() if w.node_id != worker.node_id
+    ]
+    if not survivors:
+        _record(recovery, clock, "blacklist_suppressed",
+                worker=worker.node_id, reason="last live worker")
+        return
+    context.blacklist_worker(worker.node_id)
+    _record(recovery, clock, "blacklist", worker=worker.node_id,
+            reason="max task failures")
+
+
+def _record(recovery, clock, event, **fields):
+    if recovery is not None:
+        recovery.record(event, sim_time_s=clock.now, **fields)
 
 
 def charge_model_replicas(context, model_bytes, region=Region.DL,
                           what="CNN model replicas"):
-    """Charge ``cpu`` model replicas on every worker (issue (1) of
+    """Charge ``cpu`` model replicas on every live worker (issue (1) of
     Section 4.1: each execution thread spawns its own DL model replica).
 
     Returns a callable that releases the charges; crashes with
@@ -71,7 +236,7 @@ def charge_model_replicas(context, model_bytes, region=Region.DL,
     """
     charged = []
     try:
-        for worker in context.workers:
+        for worker in context.live_workers():
             nbytes = context.cpu * int(model_bytes)
             try:
                 worker.accountant.charge(region, nbytes, what=what)

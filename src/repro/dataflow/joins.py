@@ -86,7 +86,10 @@ def shuffle_hash_join(left, right, num_partitions=None, name=None,
         Partition.from_rows(p.index, rows)
         for p, rows in zip(probe.partitions, outputs)
     ]
-    return DistributedTable(left.context, partitions, name=name, key=left.key)
+    return DistributedTable(
+        left.context, partitions, name=name, key=left.key,
+        lineage=("shuffle-join", left.name, right.name),
+    )
 
 
 def broadcast_join(small, big, name=None):
@@ -130,7 +133,10 @@ def broadcast_join(small, big, name=None):
         Partition.from_rows(p.index, rows)
         for p, rows in zip(big.partitions, outputs)
     ]
-    return DistributedTable(context, partitions, name=name, key=big.key)
+    return DistributedTable(
+        context, partitions, name=name, key=big.key,
+        lineage=("broadcast-join", small.name, big.name),
+    )
 
 
 def join(left, right, how=SHUFFLE, num_partitions=None, name=None):

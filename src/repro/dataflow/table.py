@@ -15,13 +15,22 @@ from repro.memory.model import Region
 
 
 class DistributedTable:
-    """A partitioned table of dict records with a designated key field."""
+    """A partitioned table of dict records with a designated key field.
 
-    def __init__(self, context, partitions, name=None, key="id"):
+    ``lineage`` records how the table was derived — ``(op, *parent
+    table names)`` — mirroring RDD lineage: because operators are
+    eager, a parent's partitions stay materialized, so a failed task
+    over this table is recomputed by re-running the op's UDF on the
+    parent partition (see ``repro.dataflow.executor``).
+    """
+
+    def __init__(self, context, partitions, name=None, key="id",
+                 lineage=None):
         self.context = context
         self.partitions = list(partitions)
         self.name = name or context.next_table_name()
         self.key = key
+        self.lineage = tuple(lineage) if lineage else ("source",)
 
     # ------------------------------------------------------------------
     # construction
@@ -94,7 +103,8 @@ class DistributedTable:
             for p, rows in zip(self.partitions, outputs)
         ]
         return DistributedTable(
-            self.context, partitions, name=name, key=self.key
+            self.context, partitions, name=name, key=self.key,
+            lineage=("map", self.name),
         )
 
     def project(self, fields, name=None):
@@ -128,7 +138,8 @@ class DistributedTable:
             for index, bucket in enumerate(buckets)
         ]
         return DistributedTable(
-            self.context, partitions, name=name, key=self.key
+            self.context, partitions, name=name, key=self.key,
+            lineage=("shuffle", self.name),
         )
 
     def cache(self, persistence=DESERIALIZED):

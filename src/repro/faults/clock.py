@@ -1,0 +1,26 @@
+"""Simulated time for the recovery subsystem.
+
+Retry backoff and straggler delays must be deterministic and free —
+real sleeps would make the fault-injection suite slow and flaky — so
+every recovery component shares one :class:`SimulatedClock` that only
+moves when something explicitly advances it. Recovery-log events stamp
+``sim_time_s`` from this clock, which is how tests assert backoff
+schedules exactly.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """A monotonically advancing virtual clock (seconds)."""
+
+    def __init__(self, start=0.0):
+        self.now = float(start)
+
+    def advance(self, seconds):
+        """Move time forward; negative advances are ignored."""
+        self.now += max(0.0, float(seconds))
+        return self.now
+
+    def __repr__(self):
+        return f"<SimulatedClock t={self.now:.3f}s>"

@@ -1,0 +1,127 @@
+"""The seeded fault injector.
+
+The dataflow engine calls two hooks — :meth:`FaultInjector.
+on_wave_start` before each task wave and :meth:`FaultInjector.
+on_task_start` before each task attempt — and the injector consults
+its :class:`~repro.faults.plan.FaultPlan` to decide whether to raise
+an injected failure, lose the worker, or stretch the simulated clock.
+All randomness (``probability`` gates) comes from one seeded RNG, so a
+given (plan, seed) pair injects the exact same fault sequence on every
+run: determinism is what lets the suite assert that recovered features
+are bit-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, defaultdict
+
+from repro.exceptions import TransientTaskOOM, VistaError, WorkerLost
+from repro.faults.clock import SimulatedClock
+from repro.faults.plan import (
+    FaultPlan,
+    STRAGGLER,
+    TASK_CRASH,
+    TASK_OOM,
+    WORKER_LOSS,
+)
+
+
+class InjectedTaskCrash(VistaError):
+    """A task crash injected by a :class:`FaultInjector`. Transient:
+    the task scheduler retries it from lineage."""
+
+    transient = True
+
+
+class FaultInjector:
+    """Deterministically injects the faults a :class:`FaultPlan`
+    declares.
+
+    Attach one to a cluster context (``context.fault_injector``) —
+    :func:`repro.faults.equip_context` wires it together with a retry
+    policy and a recovery log. ``injected`` counts firings per fault
+    kind, and ``clock`` is the simulated clock shared with the retry
+    layer's backoff.
+    """
+
+    def __init__(self, plan=None, seed=0, clock=None, recovery_log=None):
+        self.plan = plan if plan is not None else FaultPlan()
+        self.seed = int(seed)
+        self.rng = random.Random(self.seed)
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.recovery_log = recovery_log
+        self.wave_counter = 0
+        self.injected = Counter()
+        self._fired = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # hooks called by the dataflow engine
+    # ------------------------------------------------------------------
+    def on_wave_start(self, worker_id, what=""):
+        """Called before a wave of tasks starts on ``worker_id``;
+        raises :class:`WorkerLost` if a worker-loss rule fires."""
+        self.wave_counter += 1
+        for rule in self.plan:
+            if not rule.matches_wave(what, worker_id, self.wave_counter):
+                continue
+            if not self._fires(rule):
+                continue
+            self.injected[WORKER_LOSS] += 1
+            raise WorkerLost(
+                f"injected loss of worker {worker_id} at wave "
+                f"{self.wave_counter}",
+                worker_id=worker_id,
+            )
+
+    def on_task_start(self, what, partition_index, worker_id, attempt):
+        """Called before each task attempt; may raise an injected
+        failure or advance the simulated clock (straggler)."""
+        for rule in self.plan:
+            if rule.kind == WORKER_LOSS and rule.wave is not None:
+                continue  # handled at wave boundaries
+            if not rule.matches_task(what, partition_index, worker_id,
+                                     attempt):
+                continue
+            if not self._fires(rule):
+                continue
+            self.injected[rule.kind] += 1
+            where = (
+                f"partition {partition_index} on worker {worker_id} "
+                f"(attempt {attempt}, {what})"
+            )
+            if rule.kind == STRAGGLER:
+                self.clock.advance(rule.delay_s)
+                if self.recovery_log is not None:
+                    self.recovery_log.record(
+                        "straggler", table=what, partition=partition_index,
+                        worker=worker_id, attempt=attempt,
+                        delay_s=rule.delay_s, sim_time_s=self.clock.now,
+                    )
+                continue  # a delay, not a failure
+            if rule.kind == TASK_CRASH:
+                raise InjectedTaskCrash(f"injected task crash at {where}")
+            if rule.kind == TASK_OOM:
+                raise TransientTaskOOM(f"injected transient OOM at {where}")
+            if rule.kind == WORKER_LOSS:
+                raise WorkerLost(
+                    f"injected loss of worker {worker_id} at {where}",
+                    worker_id=worker_id,
+                )
+
+    # ------------------------------------------------------------------
+    def _fires(self, rule):
+        """Apply the rule's ``times`` budget and probability gate."""
+        key = id(rule)
+        if rule.times is not None and self._fired[key] >= rule.times:
+            return False
+        if rule.probability < 1.0 and self.rng.random() >= rule.probability:
+            return False
+        self._fired[key] += 1
+        return True
+
+    def __repr__(self):
+        return (
+            f"<FaultInjector seed={self.seed} rules={len(self.plan)} "
+            f"injected={dict(self.injected)}>"
+        )

@@ -1,0 +1,138 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultRule` entries
+describing *which* failures to inject *where*: a task crash on
+partition N at attempt K, a transient per-task OOM, the loss of a
+worker at wave W, or a straggler delay on the simulated clock. Plans
+are pure data — the seeded :class:`~repro.faults.injector.
+FaultInjector` owns all mutable firing state — so the same plan can be
+replayed deterministically against a fault-free run to prove the
+recovered features are bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Rule kinds.
+TASK_CRASH = "task-crash"
+TASK_OOM = "task-oom"
+WORKER_LOSS = "worker-loss"
+STRAGGLER = "straggler"
+
+KINDS = (TASK_CRASH, TASK_OOM, WORKER_LOSS, STRAGGLER)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One declarative injection rule.
+
+    ``None`` match fields are wildcards. ``attempt`` matches the
+    task's attempt number (1-based), so ``attempt=1`` fails only the
+    first try and lets the retry succeed. ``times`` bounds how often
+    the rule fires across the whole workload (``None`` = unlimited);
+    ``probability`` gates each firing on the injector's seeded RNG.
+    """
+
+    kind: str
+    partition: int | None = None   # task's partition index
+    worker: int | None = None      # worker node id
+    attempt: int | None = None     # task attempt number (1-based)
+    wave: int | None = None        # global wave counter (worker loss)
+    table: str | None = None       # substring match on the op label
+    delay_s: float = 0.0           # straggler delay (simulated seconds)
+    probability: float = 1.0
+    times: int | None = 1
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {KINDS}"
+            )
+
+    def matches_task(self, what, partition_index, worker_id, attempt):
+        """Does this rule apply to a task about to start?"""
+        if self.wave is not None:
+            return False  # wave-scoped rules fire at wave boundaries
+        if self.partition is not None and self.partition != partition_index:
+            return False
+        if self.worker is not None and self.worker != worker_id:
+            return False
+        if self.attempt is not None and self.attempt != attempt:
+            return False
+        if self.table is not None and self.table not in what:
+            return False
+        return True
+
+    def matches_wave(self, what, worker_id, wave):
+        """Does this worker-loss rule apply to a wave about to start?"""
+        if self.kind != WORKER_LOSS:
+            return False
+        if self.partition is not None:
+            return False  # partition-scoped loss fires mid-wave, at task level
+        if self.worker is not None and self.worker != worker_id:
+            return False
+        if self.wave is not None and self.wave != wave:
+            return False
+        if self.table is not None and self.table not in what:
+            return False
+        return True
+
+
+@dataclass
+class FaultPlan:
+    """An ordered collection of :class:`FaultRule` entries.
+
+    Builder methods return ``self`` so plans read declaratively::
+
+        plan = (FaultPlan()
+                .task_crash(partition=3, attempt=1)
+                .worker_loss(worker=1, wave=4)
+                .straggler(partition=0, delay_s=5.0))
+    """
+
+    rules: list = field(default_factory=list)
+
+    def add(self, rule):
+        self.rules.append(rule)
+        return self
+
+    def task_crash(self, partition=None, attempt=1, worker=None, table=None,
+                   probability=1.0, times=1):
+        """Crash the matching task attempt with an injected error."""
+        return self.add(FaultRule(
+            TASK_CRASH, partition=partition, attempt=attempt, worker=worker,
+            table=table, probability=probability, times=times,
+        ))
+
+    def task_oom(self, partition=None, attempt=None, worker=None, table=None,
+                 probability=1.0, times=1):
+        """Fail the matching task attempt with a transient OOM."""
+        return self.add(FaultRule(
+            TASK_OOM, partition=partition, attempt=attempt, worker=worker,
+            table=table, probability=probability, times=times,
+        ))
+
+    def worker_loss(self, worker, wave=None, table=None, probability=1.0,
+                    times=1):
+        """Lose a worker — at global wave ``wave``, or at its next wave
+        when ``wave`` is None."""
+        return self.add(FaultRule(
+            WORKER_LOSS, worker=worker, wave=wave, table=table,
+            probability=probability, times=times,
+        ))
+
+    def straggler(self, partition=None, delay_s=10.0, worker=None,
+                  table=None, attempt=None, probability=1.0, times=1):
+        """Delay the matching task on the simulated clock (no failure)."""
+        return self.add(FaultRule(
+            STRAGGLER, partition=partition, worker=worker, table=table,
+            attempt=attempt, delay_s=delay_s, probability=probability,
+            times=times,
+        ))
+
+    def __len__(self):
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)

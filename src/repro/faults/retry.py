@@ -1,0 +1,75 @@
+"""Retry policy and the structured recovery log.
+
+The policy mirrors Spark's task scheduler knobs (``task.maxFailures``,
+executor blacklisting) on the simulated engine: capped exponential
+backoff on the simulated clock, a bounded number of attempts per
+partition task, and worker blacklisting after repeated failures. The
+:class:`RecoveryLog` is the single ledger every layer appends to —
+task retries and blacklists from the dataflow engine, degradation
+steps from the supervisor — and is surfaced verbatim in
+``WorkloadResult.metrics["recovery_log"]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Task-level retry knobs for the dataflow engine."""
+
+    #: Total tries per partition task (first run + retries).
+    max_task_attempts: int = 4
+    #: Exponential backoff base and cap, in simulated seconds.
+    backoff_base_s: float = 1.0
+    backoff_cap_s: float = 30.0
+    #: Failures on one worker before it is blacklisted and its
+    #: partitions are reassigned (never blacklists the last worker).
+    max_failures_per_worker: int = 4
+
+    def backoff_s(self, attempt):
+        """Capped exponential backoff before retry ``attempt + 1``."""
+        return min(
+            self.backoff_base_s * (2.0 ** (max(1, attempt) - 1)),
+            self.backoff_cap_s,
+        )
+
+
+class RecoveryLog:
+    """An append-only ledger of recovery actions.
+
+    Each event is a plain dict with an ``event`` kind plus
+    kind-specific fields, so it serializes straight into
+    ``WorkloadResult.metrics`` and diffs cleanly in tests:
+
+    - ``task_retry``: a failed task scheduled for lineage recompute
+      (table, partition, worker, attempt, fault, backoff_s)
+    - ``worker_lost`` / ``blacklist`` / ``blacklist_suppressed``
+    - ``straggler``: an injected delay on the simulated clock
+    - ``degrade``: one supervisor degradation-ladder step
+    """
+
+    def __init__(self):
+        self.events = []
+
+    def record(self, event, **fields):
+        entry = {"event": event, **fields}
+        self.events.append(entry)
+        return entry
+
+    def of(self, event):
+        return [e for e in self.events if e["event"] == event]
+
+    def count(self, event):
+        return len(self.of(event))
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __repr__(self):
+        kinds = sorted({e["event"] for e in self.events})
+        return f"<RecoveryLog {len(self.events)} events {kinds}>"

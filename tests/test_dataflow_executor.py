@@ -9,7 +9,11 @@ from repro.dataflow.executor import (
     run_partition_tasks,
 )
 from repro.dataflow.partition import Partition
-from repro.exceptions import DLExecutionMemoryExceeded, UserMemoryExceeded
+from repro.exceptions import (
+    DLExecutionMemoryExceeded,
+    TaskFailure,
+    UserMemoryExceeded,
+)
 from repro.memory.model import GB, MemoryBudget, Region
 
 
@@ -61,9 +65,19 @@ def test_charges_released_on_task_failure(ctx):
             raise RuntimeError("task failed")
         return None
 
-    with pytest.raises(RuntimeError):
+    with pytest.raises(TaskFailure) as excinfo:
         run_partition_tasks(ctx, _parts(6), boom, charge_fn=lambda p, r: 10)
     assert all(w.accountant.used(Region.USER) == 0 for w in ctx.workers)
+    # the failure carries structured scheduling context
+    failure = excinfo.value
+    assert failure.partition_index == 3
+    assert failure.worker_id == ctx.worker_for(3).node_id
+    assert failure.attempt == 1
+    assert isinstance(failure.cause, RuntimeError)
+    assert isinstance(failure.__cause__, RuntimeError)
+    # a plain bug is neither transient nor recoverable by re-planning
+    assert failure.transient is False
+    assert failure.retryable is False
 
 
 def test_tasks_run_counter(ctx):

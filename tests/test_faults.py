@@ -1,0 +1,298 @@
+"""Seeded fault-injection suite for the dataflow recovery layer:
+deterministic injection, lineage-based task retry with simulated
+backoff, worker blacklisting/reassignment, and the structured
+TaskFailure / retryable-crash contract."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.context import local_context
+from repro.dataflow.executor import run_partition_tasks
+from repro.dataflow.partition import Partition
+from repro.dataflow.table import DistributedTable
+from repro.exceptions import (
+    ClusterExhausted,
+    NoFeasiblePlan,
+    TaskFailure,
+    TransientTaskOOM,
+    UserMemoryExceeded,
+    WorkerLost,
+    WorkloadCrash,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    WORKER_LOSS,
+    equip_context,
+)
+from repro.faults.injector import InjectedTaskCrash
+from repro.memory.model import Region
+
+
+def _parts(n):
+    return [Partition.from_rows(i, [{"id": i}]) for i in range(n)]
+
+
+def _ctx(plan=None, seed=0, policy=None, num_nodes=2):
+    ctx = local_context(num_nodes=num_nodes, cores_per_node=4)
+    injector = FaultInjector(plan, seed=seed) if plan is not None else None
+    return equip_context(ctx, injector=injector, policy=policy)
+
+
+# ---------------------------------------------------------------------
+# the crash taxonomy's retryable/transient contract (satellite)
+# ---------------------------------------------------------------------
+def test_retryable_attributes():
+    assert WorkloadCrash("x").retryable is True
+    assert UserMemoryExceeded("x").retryable is True
+    assert UserMemoryExceeded("x").transient is False
+    assert TransientTaskOOM("x").retryable is True
+    assert TransientTaskOOM("x").transient is True
+    assert isinstance(TransientTaskOOM("x"), UserMemoryExceeded)
+    assert WorkerLost(worker_id=1).transient is True
+    assert ClusterExhausted("x").retryable is False
+    assert NoFeasiblePlan("x").retryable is False
+
+
+def test_backoff_is_capped_exponential():
+    policy = RetryPolicy(backoff_base_s=1.0, backoff_cap_s=8.0)
+    assert [policy.backoff_s(a) for a in (1, 2, 3, 4, 5)] == [
+        1.0, 2.0, 4.0, 8.0, 8.0
+    ]
+
+
+# ---------------------------------------------------------------------
+# task crash -> lineage retry
+# ---------------------------------------------------------------------
+def test_task_crash_retried_and_succeeds():
+    plan = FaultPlan().task_crash(partition=3, attempt=1)
+    ctx = _ctx(plan)
+    results = run_partition_tasks(ctx, _parts(8), lambda p: p.index * 10)
+    assert results == [i * 10 for i in range(8)]
+    retries = ctx.recovery_log.of("task_retry")
+    assert len(retries) == 1
+    assert retries[0]["partition"] == 3
+    assert retries[0]["attempt"] == 1
+    assert retries[0]["fault"] == "InjectedTaskCrash"
+    assert ctx.fault_injector.injected["task-crash"] == 1
+
+
+def test_retry_backoff_advances_simulated_clock():
+    plan = FaultPlan().task_crash(partition=0, attempt=None, times=3)
+    policy = RetryPolicy(max_task_attempts=5, backoff_base_s=1.0,
+                         backoff_cap_s=30.0)
+    ctx = _ctx(plan, policy=policy)
+    run_partition_tasks(ctx, _parts(4), lambda p: None)
+    # three retries: 1s + 2s + 4s of simulated backoff, no real sleep
+    assert ctx.fault_injector.clock.now == pytest.approx(7.0)
+    backoffs = [e["backoff_s"] for e in ctx.recovery_log.of("task_retry")]
+    assert backoffs == [1.0, 2.0, 4.0]
+    times = [e["sim_time_s"] for e in ctx.recovery_log.of("task_retry")]
+    assert times == sorted(times)
+
+
+def test_retries_exhausted_raise_structured_task_failure():
+    plan = FaultPlan().task_crash(partition=2, attempt=None, times=None)
+    ctx = _ctx(plan)
+    with pytest.raises(TaskFailure) as excinfo:
+        run_partition_tasks(ctx, _parts(4), lambda p: None)
+    failure = excinfo.value
+    assert failure.partition_index == 2
+    assert failure.attempt == RetryPolicy().max_task_attempts
+    assert isinstance(failure.cause, InjectedTaskCrash)
+
+
+def test_transient_oom_exhaustion_raises_retryable_crash():
+    """Out of task-retry budget, the transient OOM escalates to the
+    supervisor as a *retryable* WorkloadCrash."""
+    plan = FaultPlan().task_oom(partition=1, attempt=None, times=None)
+    ctx = _ctx(plan)
+    with pytest.raises(TransientTaskOOM) as excinfo:
+        run_partition_tasks(ctx, _parts(4), lambda p: None)
+    assert excinfo.value.retryable is True
+
+
+def test_charges_released_after_faulty_run():
+    plan = FaultPlan().task_crash(partition=1, attempt=1).task_crash(
+        partition=5, attempt=1
+    )
+    ctx = _ctx(plan)
+    run_partition_tasks(
+        ctx, _parts(8), lambda p: None, charge_fn=lambda p, r: 1000
+    )
+    assert all(w.accountant.used(Region.USER) == 0 for w in ctx.workers)
+
+
+# ---------------------------------------------------------------------
+# worker loss, blacklisting, deterministic reassignment
+# ---------------------------------------------------------------------
+def test_worker_loss_blacklists_and_fails_over():
+    plan = FaultPlan().worker_loss(worker=1)
+    ctx = _ctx(plan)
+    results = run_partition_tasks(ctx, _parts(8), lambda p: p.index)
+    assert results == list(range(8))
+    assert ctx.excluded_workers == {1}
+    # every task ultimately ran on the surviving worker
+    assert ctx.workers[1].tasks_run == 0
+    assert ctx.workers[0].tasks_run == 8
+    assert ctx.recovery_log.count("worker_lost") == 1
+    blacklist = ctx.recovery_log.of("blacklist")
+    assert blacklist == [{
+        "event": "blacklist", "worker": 1, "reason": "worker lost",
+        "sim_time_s": blacklist[0]["sim_time_s"],
+    }]
+
+
+def test_mid_wave_worker_loss_discards_inflight_wave():
+    """Losing a worker during a wave recomputes even the wave's
+    already-finished tasks — in-flight results die with the node."""
+    rule = FaultRule(WORKER_LOSS, worker=1, partition=5)
+    ctx = _ctx(FaultPlan([rule]))
+    results = run_partition_tasks(ctx, _parts(8), lambda p: p.index)
+    assert results == list(range(8))
+    assert ctx.excluded_workers == {1}
+    # worker 1 ran partitions 1 and 3 before dying at partition 5;
+    # those count as (wasted) work, and all 4 of its partitions rerun
+    # on worker 0 alongside worker 0's own 4.
+    assert ctx.workers[1].tasks_run == 2
+    assert ctx.workers[0].tasks_run == 8
+
+
+def test_worker_for_exclusion_ring():
+    ctx = local_context(num_nodes=3, cores_per_node=2)
+    assert ctx.worker_for(4).node_id == 1
+    ctx.blacklist_worker(1)
+    assert ctx.worker_for(4).node_id == 2
+    ctx.blacklist_worker(2)
+    assert ctx.worker_for(4).node_id == 0
+    ctx.blacklist_worker(0)
+    with pytest.raises(ClusterExhausted):
+        ctx.worker_for(4)
+
+
+def test_losing_every_worker_exhausts_the_cluster():
+    plan = FaultPlan().worker_loss(worker=0)
+    ctx = _ctx(plan, num_nodes=1)
+    with pytest.raises(ClusterExhausted) as excinfo:
+        run_partition_tasks(ctx, _parts(4), lambda p: None)
+    assert excinfo.value.retryable is False
+
+
+def test_repeated_failures_blacklist_worker():
+    plan = FaultPlan().task_crash(partition=1, attempt=None, times=2)
+    policy = RetryPolicy(max_task_attempts=6, max_failures_per_worker=2)
+    ctx = _ctx(plan, policy=policy)
+    results = run_partition_tasks(ctx, _parts(4), lambda p: p.index)
+    assert results == list(range(4))
+    assert ctx.excluded_workers == {1}
+    events = ctx.recovery_log.of("blacklist")
+    assert [e["reason"] for e in events] == ["max task failures"]
+
+
+def test_last_worker_is_never_blacklisted():
+    plan = FaultPlan().task_crash(partition=0, attempt=None, times=2)
+    policy = RetryPolicy(max_task_attempts=6, max_failures_per_worker=2)
+    ctx = _ctx(plan, policy=policy, num_nodes=1)
+    results = run_partition_tasks(ctx, _parts(2), lambda p: p.index)
+    assert results == [0, 1]
+    assert ctx.excluded_workers == set()
+    assert ctx.recovery_log.count("blacklist_suppressed") == 1
+
+
+# ---------------------------------------------------------------------
+# stragglers + determinism
+# ---------------------------------------------------------------------
+def test_straggler_advances_clock_without_failing():
+    plan = FaultPlan().straggler(partition=2, delay_s=7.5)
+    ctx = _ctx(plan)
+    results = run_partition_tasks(ctx, _parts(4), lambda p: p.index)
+    assert results == list(range(4))
+    assert ctx.fault_injector.clock.now == pytest.approx(7.5)
+    assert ctx.recovery_log.of("straggler")[0]["delay_s"] == 7.5
+    assert ctx.recovery_log.count("task_retry") == 0
+
+
+def _faulty_run(seed):
+    plan = (
+        FaultPlan()
+        .task_crash(partition=None, attempt=None, probability=0.4, times=3)
+        .worker_loss(worker=1, wave=2)
+        .straggler(partition=0, delay_s=3.0)
+    )
+    ctx = _ctx(plan, seed=seed)
+    results = run_partition_tasks(ctx, _parts(8), lambda p: p.index * 2)
+    return results, ctx.recovery_log.events, ctx.fault_injector.clock.now
+
+
+def test_same_seed_replays_identical_fault_sequence():
+    results_a, events_a, clock_a = _faulty_run(seed=11)
+    results_b, events_b, clock_b = _faulty_run(seed=11)
+    assert results_a == results_b == [i * 2 for i in range(8)]
+    assert events_a == events_b
+    assert clock_a == clock_b
+
+
+def test_blacklist_and_reassignment_are_deterministic():
+    logs = []
+    for _ in range(2):
+        plan = FaultPlan().worker_loss(worker=0, wave=1)
+        ctx = _ctx(plan, num_nodes=3)
+        results = run_partition_tasks(ctx, _parts(9), lambda p: p.index)
+        assert results == list(range(9))
+        assert ctx.excluded_workers == {0}
+        logs.append(ctx.recovery_log.events)
+    assert logs[0] == logs[1]
+
+
+# ---------------------------------------------------------------------
+# table-level recovery: lineage recompute keeps outputs bit-identical
+# ---------------------------------------------------------------------
+def _mapped_rows(ctx):
+    rows = [
+        {"id": i, "x": np.full((4, 4), i, dtype=np.float32)}
+        for i in range(24)
+    ]
+    table = DistributedTable.from_rows(ctx, rows, 8, name="t_in")
+    out = table.map_partitions(
+        lambda rows: [{"id": r["id"], "x": r["x"] * 2.0} for r in rows],
+        name="t_out",
+    )
+    return out
+
+
+def test_map_partitions_under_faults_is_bit_identical():
+    clean = _mapped_rows(local_context(num_nodes=2, cores_per_node=4))
+    plan = (
+        FaultPlan()
+        .task_crash(partition=2, attempt=1)
+        .task_oom(partition=5, attempt=1)
+        .worker_loss(worker=1, wave=2)
+    )
+    faulty = _mapped_rows(_ctx(plan))
+    clean_rows = clean.to_rows_sorted()
+    faulty_rows = faulty.to_rows_sorted()
+    assert [r["id"] for r in clean_rows] == [r["id"] for r in faulty_rows]
+    for a, b in zip(clean_rows, faulty_rows):
+        assert np.array_equal(a["x"], b["x"])
+
+
+def test_lineage_records_parent_tables():
+    ctx = local_context(num_nodes=2, cores_per_node=4)
+    out = _mapped_rows(ctx)
+    assert out.lineage == ("map", "t_in")
+    from repro.dataflow.joins import shuffle_hash_join
+
+    rows = [{"id": i, "y": i} for i in range(24)]
+    other = DistributedTable.from_rows(ctx, rows, 8, name="t_other")
+    joined = shuffle_hash_join(out, other, num_partitions=4)
+    assert joined.lineage[0] == "shuffle-join"
+
+
+def test_retry_events_name_the_op_being_recomputed():
+    plan = FaultPlan().task_crash(partition=1, attempt=1)
+    ctx = _ctx(plan)
+    _mapped_rows(ctx)
+    retries = ctx.recovery_log.of("task_retry")
+    assert retries and all("t_in" in e["table"] for e in retries)

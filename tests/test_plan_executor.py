@@ -166,6 +166,52 @@ def test_metrics_populated(setup):
     assert result.metrics["tasks_run"] > 0
 
 
+def test_eager_sniff_skips_empty_first_partition(setup):
+    """The Eager TensorList rejection must look at the first *non-empty*
+    partition — an empty partition 0 used to slip multi-image tables
+    past the guard."""
+    from repro.dataflow.partition import Partition
+    from repro.dataflow.table import DistributedTable
+    from repro.tensor.tensorlist import TensorList
+
+    dataset, model, config = setup
+    ctx = local_context(num_nodes=2, cores_per_node=4, cpu=config.cpu)
+    executor = FeatureTransferExecutor(
+        ctx, model, dataset, ["fc7"], config,
+        downstream_fn=lambda f, l: {"matrix": f.copy()},
+    )
+    tl_rows = [
+        {"id": row["id"], "image": TensorList([row["image"]])}
+        for row in dataset.image_rows
+    ]
+    executor.timg = DistributedTable(
+        ctx, [Partition.from_rows(0, []), Partition.from_rows(1, tl_rows)],
+        name="t_img",
+    )
+    with pytest.raises(NotImplementedError):
+        executor.run(EAGER)
+
+
+def test_eager_sniff_tolerates_all_empty_table(setup):
+    """A table with no rows anywhere must not trip the sniff itself
+    (the run fails later, at training, for want of data)."""
+    from repro.dataflow.partition import Partition
+    from repro.dataflow.table import DistributedTable
+
+    dataset, model, config = setup
+    ctx = local_context(num_nodes=2, cores_per_node=4, cpu=config.cpu)
+    executor = FeatureTransferExecutor(
+        ctx, model, dataset, ["fc7"], config,
+        downstream_fn=lambda f, l: {"matrix": f.copy()},
+    )
+    executor.timg = DistributedTable(
+        ctx, [Partition.from_rows(0, []), Partition.from_rows(1, [])],
+        name="t_img",
+    )
+    with pytest.raises(ValueError):
+        executor.run(EAGER)
+
+
 def test_resnet_staged_chain(small_foods):
     """Staged inference across ResNet's five feature layers, block to
     block, must match direct inference."""
