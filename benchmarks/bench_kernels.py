@@ -6,6 +6,13 @@ ways — one image at a time through ``CNN.forward`` versus one
 (allclose at float32), and writes ``BENCH_kernels.json`` at the repo
 root so future PRs have a perf trajectory to compare against.
 
+The timings run *inside* trace spans and the reported seconds are read
+back out of the exported span tree (``harness.span_seconds``) — the
+committed JSON is the shared ``trace/v1`` envelope, with the full span
+tree alongside the derived result rows. The bench also measures the
+tracer's own cost: batched inference with the per-operator
+``op_timer`` hook attached must stay within 5% of untraced inference.
+
 The committed result file is intentionally tracked in git: it is the
 perf record, not a scratch artifact.
 
@@ -20,14 +27,22 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 
 import numpy as np
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from harness import print_table, time_block, write_results  # noqa: E402
+from harness import (  # noqa: E402
+    find_span,
+    print_table,
+    span_seconds,
+    trace_payload,
+    write_results,
+)
 
 from repro.cnn import build_model  # noqa: E402
+from repro.trace import Tracer  # noqa: E402
 
 MODELS = ("alexnet", "vgg16", "resnet50")
 RESULT_PATH = os.path.join(
@@ -35,9 +50,15 @@ RESULT_PATH = os.path.join(
     "BENCH_kernels.json",
 )
 
+#: Acceptance bound: attaching the per-operator timing hook must cost
+#: less than this fraction of untraced batched inference.
+MAX_TRACER_OVERHEAD = 0.05
 
-def bench_model(name, profile, batch_size, repeats):
-    """Time per-image vs batched inference for one zoo model."""
+
+def bench_model(name, profile, batch_size, repeats, tracer):
+    """Time per-image vs batched inference for one zoo model under a
+    ``bench:<model>`` span; the caller reads the numbers back from the
+    exported trace."""
     model = build_model(name, profile=profile)
     rng = np.random.default_rng(0)
     batch = rng.normal(size=(batch_size,) + model.input_shape).astype(
@@ -50,21 +71,55 @@ def bench_model(name, profile, batch_size, repeats):
         batched_out, per_image_out, rtol=1e-4, atol=1e-5,
         err_msg=f"{name}: batched and per-image inference diverged",
     )
-    with time_block() as per_image:
-        for _ in range(repeats):
-            for image in batch:
-                model.forward(image)
-    with time_block() as batched:
-        for _ in range(repeats):
-            model.forward_batch(batch)
+    with tracer.span(f"bench:{name}", model=name, profile=profile,
+                     batch_size=batch_size, repeats=repeats):
+        with tracer.span("per_image") as sp:
+            for _ in range(repeats):
+                for image in batch:
+                    model.forward(image)
+            sp.add("images", repeats * batch_size)
+        with tracer.span("batched") as sp:
+            for _ in range(repeats):
+                model.forward_batch(batch)
+            sp.add("images", repeats * batch_size)
+
+
+def bench_tracer_overhead(profile, batch_size, repeats):
+    """Batched inference with vs without the per-operator timing hook.
+
+    Trials interleave and each side takes its min, so OS noise cancels
+    rather than landing on one side of the ratio.
+    """
+    model = build_model("alexnet", profile=profile)
+    rng = np.random.default_rng(1)
+    batch = rng.normal(size=(batch_size,) + model.input_shape).astype(
+        np.float32
+    )
+    model.forward_batch(batch)  # warm caches
+    tracer = Tracer(name="overhead")
+    trials = max(9, repeats)
+    inner = 3  # amortize each sample over several batch inferences
+    untraced = traced = float("inf")
+    try:
+        for _ in range(trials):
+            model.op_timer = None
+            start = time.perf_counter()
+            for _ in range(inner):
+                model.forward_batch(batch)
+            untraced = min(untraced, time.perf_counter() - start)
+
+            model.op_timer = tracer.time_op
+            with tracer.span("traced_batch"):
+                start = time.perf_counter()
+                for _ in range(inner):
+                    model.forward_batch(batch)
+                traced = min(traced, time.perf_counter() - start)
+    finally:
+        model.op_timer = None
     return {
-        "model": name,
-        "profile": profile,
-        "batch_size": batch_size,
-        "repeats": repeats,
-        "per_image_seconds": per_image.seconds,
-        "batched_seconds": batched.seconds,
-        "speedup": per_image.seconds / batched.seconds,
+        "untraced_seconds": untraced,
+        "traced_seconds": traced,
+        "overhead_fraction": traced / untraced - 1.0,
     }
 
 
@@ -79,10 +134,27 @@ def main(argv=None):
     args = parser.parse_args(argv)
     repeats = args.repeats or (1 if args.quick else 5)
 
-    results = [
-        bench_model(name, args.profile, args.batch, repeats)
-        for name in MODELS
-    ]
+    tracer = Tracer(name="bench_kernels")
+    for name in MODELS:
+        bench_model(name, args.profile, args.batch, repeats, tracer)
+    trace = tracer.export()
+
+    results = []
+    for name in MODELS:
+        subtree = find_span(trace, f"bench:{name}")
+        per_image = span_seconds(subtree, "per_image")
+        batched = span_seconds(subtree, "batched")
+        results.append({
+            "model": name,
+            "profile": args.profile,
+            "batch_size": args.batch,
+            "repeats": repeats,
+            "per_image_seconds": per_image,
+            "batched_seconds": batched,
+            "speedup": per_image / batched,
+        })
+    overhead = bench_tracer_overhead(args.profile, args.batch, repeats)
+
     print_table(
         f"Kernel microbenchmark ({args.profile} profile, "
         f"batch={args.batch}, repeats={repeats})",
@@ -97,6 +169,12 @@ def main(argv=None):
             for r in results
         ],
     )
+    print(
+        f"\ntracer overhead on batched inference: "
+        f"{overhead['overhead_fraction'] * 100:.2f}% "
+        f"(traced {overhead['traced_seconds']:.4f}s vs "
+        f"untraced {overhead['untraced_seconds']:.4f}s)"
+    )
 
     best = max(r["speedup"] for r in results)
     if args.batch >= 32:
@@ -104,8 +182,16 @@ def main(argv=None):
             f"batched kernels only {best:.1f}x faster than per-image at "
             f"batch {args.batch}; expected >= 3x"
         )
+    assert overhead["overhead_fraction"] < MAX_TRACER_OVERHEAD, (
+        f"tracer overhead {overhead['overhead_fraction'] * 100:.2f}% "
+        f"exceeds the {MAX_TRACER_OVERHEAD * 100:.0f}% budget"
+    )
     if not args.quick:
-        write_results(RESULT_PATH, {"results": results})
+        write_results(RESULT_PATH, trace_payload(
+            "kernels", results, trace=trace,
+            profile=args.profile, batch_size=args.batch, repeats=repeats,
+            tracer_overhead=overhead,
+        ))
         print(f"\nwrote {RESULT_PATH}")
     return results
 

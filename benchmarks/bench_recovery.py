@@ -9,10 +9,15 @@ feature matrices are bit-identical to the fault-free run, then reports
 wall-clock overhead, extra tasks executed, recovery-log counts, and
 the simulated seconds spent in backoff/stragglers.
 
-Writes ``BENCH_recovery.json`` at the repo root so future PRs have a
-recovery-overhead trajectory to compare against. The committed result
-file is intentionally tracked in git: it is the perf record, not a
-scratch artifact.
+Every scenario repeat runs under a ``scenario:<label>`` span of one
+shared tracer (the last repeat additionally threads the tracer through
+the supervisor, capturing the full attempt/degrade span tree), and the
+reported numbers — wall seconds, workload attempts, degradation steps
+— are read back out of those spans. ``BENCH_recovery.json`` is the
+shared ``trace/v1`` envelope so future PRs have a recovery-overhead
+trajectory to compare against. The committed result file is
+intentionally tracked in git: it is the perf record, not a scratch
+artifact.
 
 Usage::
 
@@ -30,11 +35,12 @@ import numpy as np
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from harness import print_table, time_block, write_results  # noqa: E402
+from harness import print_table, trace_payload, write_results  # noqa: E402
 
 from repro.core.api import Vista, default_resources  # noqa: E402
 from repro.data import foods_dataset  # noqa: E402
 from repro.faults import FaultPlan  # noqa: E402
+from repro.trace import Tracer  # noqa: E402
 
 RESULT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -71,15 +77,27 @@ def make_vista(records):
     )
 
 
-def run_scenario(label, plan_factory, records, repeats, baseline_matrices):
-    seconds = []
+def run_scenario(label, plan_factory, records, repeats, baseline_matrices,
+                 tracer):
+    """Run one fault scenario ``repeats`` times under ``scenario:``
+    spans; the final repeat threads the tracer through the supervisor
+    so its attempt/degrade structure lands in the trace."""
+    scenario_spans = []
+    deep_span = None
     result = None
-    for _ in range(repeats):
+    for repeat in range(repeats):
         vista = make_vista(records)
         plan = plan_factory()
-        with time_block() as timing:
-            result = vista.run_resilient(fault_plan=plan, seed=SEED)
-        seconds.append(timing.seconds)
+        deep = repeat == repeats - 1
+        tracer.clock = None  # each scenario brings a fresh injector clock
+        with tracer.span(f"scenario:{label}", repeat=repeat,
+                         traced_run=deep) as sp:
+            result = vista.run_resilient(
+                fault_plan=plan, seed=SEED, tracer=tracer if deep else None
+            )
+        scenario_spans.append(sp)
+        if deep:
+            deep_span = sp
     if baseline_matrices is not None:
         for layer, matrix in baseline_matrices.items():
             recovered = result.layer_results[layer].downstream["matrix"]
@@ -88,14 +106,29 @@ def run_scenario(label, plan_factory, records, repeats, baseline_matrices):
             )
     log = result.metrics["recovery_log"]
     count = lambda kind: sum(1 for e in log if e["event"] == kind)  # noqa: E731
+    # trace-derived structure of the final run, cross-checked against
+    # the recovery log (two independent records of the same recovery)
+    trace_attempts = len(deep_span.find_all("attempt:"))
+    trace_degrades = sum(
+        1 for span in deep_span.walk()
+        for event in span.events if event["event"] == "degrade"
+    )
+    assert trace_attempts == result.metrics["recovery_attempts"], (
+        f"{label}: trace saw {trace_attempts} attempts, recovery log "
+        f"{result.metrics['recovery_attempts']}"
+    )
+    assert trace_degrades == count("degrade"), (
+        f"{label}: trace saw {trace_degrades} degrades, recovery log "
+        f"{count('degrade')}"
+    )
     return {
         "scenario": label,
-        "wall_seconds": min(seconds),
+        "wall_seconds": min(sp.wall_s for sp in scenario_spans),
         "tasks_run": result.metrics["tasks_run"],
-        "workload_attempts": result.metrics["recovery_attempts"],
+        "workload_attempts": trace_attempts,
         "task_retries": count("task_retry"),
         "blacklists": count("blacklist"),
-        "degrades": count("degrade"),
+        "degrades": trace_degrades,
         "sim_recovery_seconds": result.metrics.get("sim_time_s", 0.0),
         "faults_injected": result.metrics.get("faults_injected", {}),
     }
@@ -115,10 +148,12 @@ def main(argv=None):
         for layer, lr in make_vista(args.records).run().layer_results.items()
     }
 
+    tracer = Tracer(name="bench_recovery")
     results = []
     for label, factory in _scenarios().items():
         results.append(run_scenario(
-            label, factory, args.records, repeats, baseline_matrices
+            label, factory, args.records, repeats, baseline_matrices,
+            tracer,
         ))
     base_wall = next(
         r["wall_seconds"] for r in results if r["scenario"] == "fault-free"
@@ -159,12 +194,10 @@ def main(argv=None):
     assert all(r["tasks_run"] >= base_tasks for r in results)
 
     if not args.quick:
-        write_results(RESULT_PATH, {
-            "records": args.records,
-            "repeats": repeats,
-            "seed": SEED,
-            "results": results,
-        })
+        write_results(RESULT_PATH, trace_payload(
+            "recovery", results, trace=tracer,
+            records=args.records, repeats=repeats, seed=SEED,
+        ))
         print(f"\nwrote {RESULT_PATH}")
     return results
 

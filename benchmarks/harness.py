@@ -102,6 +102,51 @@ def write_results(path, payload):
     """Write one bench's JSON result file (sorted keys, trailing
     newline) so successive runs diff cleanly."""
     with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
         fh.write("\n")
     return path
+
+
+#: Version tag of the shared trace-derived BENCH_*.json layout.
+TRACE_SCHEMA = "trace/v1"
+
+
+def trace_payload(bench, results, trace=None, **params):
+    """The shared BENCH_*.json layout: every bench commits the same
+    envelope — a schema tag, the bench name, its parameters, the
+    result rows, and the span tree the rows were derived from — so
+    downstream tooling reads one format.
+
+    ``trace`` is a :class:`~repro.trace.Tracer`, a Span, or an already
+    exported dict (None for benches run with tracing off).
+    """
+    if trace is not None and hasattr(trace, "export"):
+        trace = trace.export()
+    elif trace is not None and hasattr(trace, "to_dict"):
+        trace = trace.to_dict()
+    return {
+        "schema": TRACE_SCHEMA,
+        "bench": bench,
+        "params": dict(params),
+        "results": results,
+        "trace": trace,
+    }
+
+
+def find_span(trace_root, name):
+    """First node matching ``name`` (prefix match) in an exported
+    trace dict; raises KeyError if absent."""
+    stack = [trace_root]
+    while stack:
+        node = stack.pop(0)
+        if node["name"] == name or node["name"].startswith(name):
+            return node
+        stack.extend(node.get("children", ()))
+    raise KeyError(f"no span matching {name!r} in trace")
+
+
+def span_seconds(trace_root, name):
+    """Wall seconds of the first span matching ``name`` (prefix match)
+    in an exported trace dict — how benches read their timings back
+    out of the trace instead of keeping a parallel stopwatch."""
+    return find_span(trace_root, name)["wall_s"]

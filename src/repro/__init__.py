@@ -32,6 +32,7 @@ from repro.exceptions import (
     WorkloadCrash,
 )
 from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.trace import Tracer
 
 __version__ = "1.0.0"
 
@@ -43,6 +44,7 @@ __all__ = [
     "ResilientRunner",
     "Resources",
     "RetryPolicy",
+    "Tracer",
     "Vista",
     "VistaConfig",
     "VistaError",

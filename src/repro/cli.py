@@ -162,6 +162,11 @@ def cmd_run(args):
     from repro.core.config import Resources
     from repro.data import amazon_dataset, foods_dataset
 
+    tracer = None
+    if args.trace or args.trace_json:
+        from repro.trace import Tracer
+
+        tracer = Tracer()
     maker = foods_dataset if args.dataset == "foods" else amazon_dataset
     dataset = maker(num_records=args.records)
     resources = Resources(
@@ -176,14 +181,28 @@ def cmd_run(args):
         dataset=dataset,
         resources=resources,
     )
-    config = vista.optimize()
+    config = vista.optimize(tracer=tracer)
     print(f"optimizer: {config.describe()}")
-    result = vista.run()
+    result = vista.run(tracer=tracer)
     for layer, layer_result in result.layer_results.items():
         print(f"  {layer:10s} dim={layer_result.feature_dim:<6d} "
               f"train F1={layer_result.downstream['f1_train']:.3f}")
     print(f"inference GFLOPs: "
           f"{result.metrics['inference_flops'] / 1e9:.3f}")
+    if tracer is not None:
+        exported = tracer.export()
+        if args.trace:
+            from repro.report import render_trace
+
+            print()
+            print(render_trace(exported))
+        if args.trace_json:
+            import json
+
+            with open(args.trace_json, "w") as handle:
+                json.dump(exported, handle, indent=2, sort_keys=True,
+                          default=str)
+            print(f"trace written to {args.trace_json}")
     return 0
 
 
@@ -214,6 +233,14 @@ def build_parser():
     run = sub.add_parser("run", help="mini-scale end-to-end execution")
     _add_workload_args(run)
     run.add_argument("--records", type=int, default=80)
+    run.add_argument(
+        "--trace", action="store_true",
+        help="record a span trace and print the flame-style summary",
+    )
+    run.add_argument(
+        "--trace-json", metavar="PATH", default=None,
+        help="write the recorded trace as JSON to PATH",
+    )
     return parser
 
 

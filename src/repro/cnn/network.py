@@ -83,6 +83,28 @@ class CNN(TensorOp):
                 f"layer index {index} out of range 1..{self.num_layers}"
             )
 
+    #: Per-operator timing hook: None (untraced, zero overhead beyond
+    #: one attribute check per chain) or a callable like
+    #: :meth:`repro.trace.Tracer.time_op` returning a context manager;
+    #: each layer op's wall time then accumulates on the current trace
+    #: span under an ``op_s:<layer-name>`` counter.
+    op_timer = None
+
+    def _apply_chain(self, out, ops, batched):
+        timer = self.op_timer
+        if timer is None:
+            if batched:
+                for op in ops:
+                    out = op.call_batch(out)
+            else:
+                for op in ops:
+                    out = op(out)
+            return out
+        for op in ops:
+            with timer(op.name):
+                out = op.call_batch(out) if batched else op(out)
+        return out
+
     def apply(self, tensor):
         return self.forward(tensor)
 
@@ -95,9 +117,7 @@ class CNN(TensorOp):
         stop = self._resolve(upto) if upto is not None else self.num_layers
         self._check_index(stop)
         out = np.asarray(tensor, dtype=np.float32)
-        for op in self.layers[:stop]:
-            out = op(out)
-        return out
+        return self._apply_chain(out, self.layers[:stop], batched=False)
 
     def forward_batch(self, batch, upto=None):
         """Batched inference over an (N, H, W, C) image stack through
@@ -109,9 +129,7 @@ class CNN(TensorOp):
         stop = self._resolve(upto) if upto is not None else self.num_layers
         self._check_index(stop)
         out = np.asarray(batch, dtype=np.float32)
-        for op in self.layers[:stop]:
-            out = op.call_batch(out)
-        return out
+        return self._apply_chain(out, self.layers[:stop], batched=True)
 
     def partial_forward(self, tensor, start, upto):
         """Partial CNN inference ``f̂_{i→j}`` (Definition 3.7).
@@ -122,18 +140,14 @@ class CNN(TensorOp):
         """
         begin, stop = self._partial_range(start, upto)
         out = np.asarray(tensor, dtype=np.float32)
-        for op in self.layers[begin:stop]:
-            out = op(out)
-        return out
+        return self._apply_chain(out, self.layers[begin:stop], batched=False)
 
     def partial_forward_batch(self, batch, start, upto):
         """Batched partial inference ``f̂_{i→j}`` over an (N, ...) stack
         of layer-``start`` outputs (``start=0``: raw images)."""
         begin, stop = self._partial_range(start, upto)
         out = np.asarray(batch, dtype=np.float32)
-        for op in self.layers[begin:stop]:
-            out = op.call_batch(out)
-        return out
+        return self._apply_chain(out, self.layers[begin:stop], batched=True)
 
     def _partial_range(self, start, upto):
         begin = self._resolve(start) if start else 0

@@ -26,6 +26,7 @@ from repro.features.pooling import pool_feature_tensor, pool_feature_tensor_batc
 from repro.ml.logistic import LogisticRegression
 from repro.ml.metrics import f1_score
 from repro.tensor.tensorlist import TensorList
+from repro.trace import NULL_TRACER
 
 
 def _stackable(values):
@@ -73,12 +74,23 @@ class LayerResult:
 
 
 class WorkloadResult:
-    """Result of one feature-transfer workload run."""
+    """Result of one feature-transfer workload run.
 
-    def __init__(self, plan, layer_results, metrics):
+    ``trace`` is the root :class:`~repro.trace.Span` of the run's
+    trace tree when the workload was traced (``to_dict``/``to_json``
+    export it; :func:`repro.report.trace_ascii.render_trace` renders
+    it), or None for untraced runs.
+    """
+
+    def __init__(self, plan, layer_results, metrics, trace=None):
         self.plan = plan
         self.layer_results = layer_results  # layer name -> LayerResult
         self.metrics = metrics
+        self.trace = trace
+
+    def trace_dict(self):
+        """JSON-safe dict of the trace tree (None when untraced)."""
+        return self.trace.to_dict() if self.trace is not None else None
 
     def __repr__(self):
         return (
@@ -114,7 +126,7 @@ class FeatureTransferExecutor:
 
     def __init__(self, context, cnn, dataset, layers, config,
                  downstream_fn=None, model_mem_bytes=None, pool_grid=2,
-                 user_alpha=2.0, feature_store=None):
+                 user_alpha=2.0, feature_store=None, tracer=None):
         self.context = context
         self.cnn = cnn
         self.dataset = dataset
@@ -130,13 +142,23 @@ class FeatureTransferExecutor:
         self.user_alpha = user_alpha
         self.feature_store = feature_store
         self.metrics = {}
+        self._measured_table_bytes = {}
+        if tracer is not None:
+            context.attach_tracer(tracer)
+        self.tracer = getattr(context, "tracer", NULL_TRACER)
         np_ = config.num_partitions
-        self.tstr = DistributedTable.from_rows(
-            context, dataset.structured_rows, np_, name="t_str"
-        )
-        self.timg = DistributedTable.from_rows(
-            context, dataset.image_rows, np_, name="t_img"
-        )
+        with self.tracer.span("read") as sp:
+            self.tstr = DistributedTable.from_rows(
+                context, dataset.structured_rows, np_, name="t_str"
+            )
+            self.timg = DistributedTable.from_rows(
+                context, dataset.image_rows, np_, name="t_img"
+            )
+            if self.tracer.enabled:
+                sp.add("rows_structured", self.tstr.num_rows())
+                sp.add("rows_images", self.timg.num_rows())
+                sp.add("bytes_structured", self.tstr.memory_bytes())
+                sp.add("bytes_images", self.timg.memory_bytes())
 
     # ------------------------------------------------------------------
     # public API
@@ -149,24 +171,67 @@ class FeatureTransferExecutor:
             "inference_flops": 0,
             "premat_flops": 0,
         }
+        self._measured_table_bytes = {}
         self.context.reset_metrics()
         self.context.shuffle_bytes_total = 0
-        source_table, source_layer = self.timg, None
-        source_field = "image"
-        if premat_layer is not None:
-            source_table = self._prematerialize(premat_layer)
-            source_layer = premat_layer
-            source_field = "tensor"
-        runner = {
-            Materialization.LAZY: self._run_lazy,
-            Materialization.EAGER: self._run_eager,
-            Materialization.STAGED: self._run_staged,
-        }[plan.materialization]
-        layer_results = runner(
-            plan, source_table, source_field, source_layer
-        )
+        config = self.config
+        previous_timer = self.cnn.op_timer
+        if self.tracer.enabled:
+            self.cnn.op_timer = self.tracer.time_op
+        try:
+            with self.tracer.span(
+                "workload", plan=plan.label, join=config.join,
+                persistence=config.persistence,
+                num_partitions=config.num_partitions,
+                cpu=self.context.cpu,
+            ) as span:
+                source_table, source_layer = self.timg, None
+                source_field = "image"
+                if premat_layer is not None:
+                    source_table = self._prematerialize(premat_layer)
+                    source_layer = premat_layer
+                    source_field = "tensor"
+                runner = {
+                    Materialization.LAZY: self._run_lazy,
+                    Materialization.EAGER: self._run_eager,
+                    Materialization.STAGED: self._run_staged,
+                }[plan.materialization]
+                layer_results = runner(
+                    plan, source_table, source_field, source_layer
+                )
+                if self.tracer.enabled:
+                    span.set("sizing", self._sizing_comparison())
+        finally:
+            self.cnn.op_timer = previous_timer
         self._finalize_metrics()
-        return WorkloadResult(plan.label, layer_results, dict(self.metrics))
+        trace = self.tracer.root if self.tracer.enabled else None
+        return WorkloadResult(
+            plan.label, layer_results, dict(self.metrics), trace=trace
+        )
+
+    def _sizing_comparison(self):
+        """Eq. 16 estimates (from the executable CNN's shapes) next to
+        the traced actual bytes of each layer's train table — the
+        paper's Figure 15 validation, per run."""
+        from repro.core.config import DatasetStats
+        from repro.core.sizing import estimate_sizes_from_cnn
+
+        image = self.dataset.image_rows[0]["image"]
+        stats = DatasetStats(
+            num_records=len(self.dataset),
+            num_structured_features=self.dataset.num_structured_features,
+            avg_image_bytes=int(image.nbytes),
+        )
+        estimates = estimate_sizes_from_cnn(
+            self.cnn, self.layers, stats, alpha=self.user_alpha
+        )
+        return {
+            layer: {
+                "estimated_bytes": estimates[layer],
+                "measured_bytes": self._measured_table_bytes.get(layer),
+            }
+            for layer in self.layers
+        }
 
     # ------------------------------------------------------------------
     # plan implementations
@@ -233,17 +298,27 @@ class FeatureTransferExecutor:
         base = source
         if plan.join_placement is JoinPlacement.AFTER_JOIN:
             base = self._join(self.tstr, source)
-        release = charge_model_replicas(
-            self.context, self.model_mem_bytes
-        )
-        try:
-            eager_table = base.map_partitions(
-                materialize_partition, name="t_eager",
-                user_alpha=self.user_alpha,
+        with self.tracer.span(
+            "inference:eager", from_layer=source_layer or "image",
+            to_layer=all_layers[-1], layers=list(all_layers),
+        ) as sp:
+            release = charge_model_replicas(
+                self.context, self.model_mem_bytes
             )
-        finally:
-            release()
-        self._meter_inference(base.num_rows(), source_layer, all_layers[-1])
+            try:
+                eager_table = base.map_partitions(
+                    materialize_partition, name="t_eager",
+                    user_alpha=self.user_alpha,
+                )
+            finally:
+                release()
+            flops = self._meter_inference(
+                base.num_rows(), source_layer, all_layers[-1]
+            )
+            if self.tracer.enabled:
+                sp.add("rows", base.num_rows())
+                sp.add("flops", flops)
+                sp.add("bytes_out", eager_table.memory_bytes())
         if plan.join_placement is JoinPlacement.BEFORE_JOIN:
             eager_table = self._join(self.tstr, eager_table)
         # The all-layers table must persist across |L| training runs —
@@ -307,27 +382,32 @@ class FeatureTransferExecutor:
         """
         from repro.dataflow.table import DistributedTable
 
-        if self.feature_store is not None:
-            from repro.features.store import dataset_fingerprint
+        with self.tracer.span(f"prematerialize:{layer}", layer=layer) as sp:
+            if self.feature_store is not None:
+                from repro.features.store import dataset_fingerprint
 
-            fingerprint = dataset_fingerprint(self.dataset)
-            rows = self.feature_store.get(self.cnn.name, layer, fingerprint)
-            if rows is not None:
-                self.metrics["premat_store_hit"] = True
-                return DistributedTable.from_rows(
-                    self.context, rows, self.config.num_partitions,
-                    name=f"t_premat_{layer}",
+                fingerprint = dataset_fingerprint(self.dataset)
+                rows = self.feature_store.get(
+                    self.cnn.name, layer, fingerprint
                 )
-        table = self._inference_map(self.timg, "image", None, layer)
-        flops = self.cnn.flops_between(0, layer) * self.timg.num_rows()
-        self.metrics["premat_flops"] += flops
-        self.metrics["inference_flops"] -= flops
-        if self.feature_store is not None:
-            self.feature_store.put(
-                self.cnn.name, layer, fingerprint, table.collect()
-            )
-            self.metrics["premat_store_hit"] = False
-        return table
+                if rows is not None:
+                    self.metrics["premat_store_hit"] = True
+                    sp.set("store_hit", True)
+                    return DistributedTable.from_rows(
+                        self.context, rows, self.config.num_partitions,
+                        name=f"t_premat_{layer}",
+                    )
+            table = self._inference_map(self.timg, "image", None, layer)
+            flops = self.cnn.flops_between(0, layer) * self.timg.num_rows()
+            self.metrics["premat_flops"] += flops
+            self.metrics["inference_flops"] -= flops
+            if self.feature_store is not None:
+                self.feature_store.put(
+                    self.cnn.name, layer, fingerprint, table.collect()
+                )
+                self.metrics["premat_store_hit"] = False
+                sp.set("store_hit", False)
+            return table
 
     def _inference_map(self, table, field, from_layer, to_layer, keep=()):
         """Partial CNN inference ``f̂_{from→to}`` as a partition-level
@@ -374,15 +454,25 @@ class FeatureTransferExecutor:
                 out_rows.append(out)
             return out_rows
 
-        release = charge_model_replicas(self.context, self.model_mem_bytes)
-        try:
-            result = table.map_partitions(
-                infer_partition, name=f"t_{to_layer}",
-                user_alpha=self.user_alpha,
+        with self.tracer.span(
+            f"inference:{to_layer}", from_layer=from_layer or "image",
+            to_layer=to_layer,
+        ) as sp:
+            release = charge_model_replicas(self.context, self.model_mem_bytes)
+            try:
+                result = table.map_partitions(
+                    infer_partition, name=f"t_{to_layer}",
+                    user_alpha=self.user_alpha,
+                )
+            finally:
+                release()
+            flops = self._meter_inference(
+                table.num_rows(), from_layer, to_layer
             )
-        finally:
-            release()
-        self._meter_inference(table.num_rows(), from_layer, to_layer)
+            if self.tracer.enabled:
+                sp.add("rows", table.num_rows())
+                sp.add("flops", flops)
+                sp.add("bytes_out", result.memory_bytes())
         return result
 
     def _meter_inference(self, num_rows, from_layer, to_layer):
@@ -390,6 +480,7 @@ class FeatureTransferExecutor:
             from_layer or 0, to_layer
         ) * num_rows
         self.metrics["inference_flops"] += flops
+        return flops
 
     def _join(self, left, right):
         return physical_join(
@@ -400,7 +491,19 @@ class FeatureTransferExecutor:
     def _train(self, table, layer):
         """Concatenate structured + pooled image features and hand the
         matrix to the downstream routine at the driver."""
+        with self.tracer.span(f"train:{layer}", layer=layer) as sp:
+            result = self._train_inner(table, layer, sp)
+        return result
+
+    def _train_inner(self, table, layer, sp):
         grid = self.pool_grid
+        if self.tracer.enabled:
+            # The joined train table is the run's measured counterpart
+            # of Eq. 16's |T_i| estimate (see _sizing_comparison).
+            measured = table.memory_bytes()
+            self._measured_table_bytes[layer] = measured
+            sp.add("rows", table.num_rows())
+            sp.add("bytes_in", measured)
 
         def pool_one(tensor):
             if isinstance(tensor, TensorList):
@@ -438,7 +541,11 @@ class FeatureTransferExecutor:
         rows.sort(key=lambda row: row["id"])
         features = np.stack([row["x"] for row in rows])
         labels = np.array([row["label"] for row in rows], dtype=np.int64)
-        outcome = self.downstream_fn(features, labels)
+        with self.tracer.span(f"downstream:{layer}") as down:
+            outcome = self.downstream_fn(features, labels)
+            down.add("rows", features.shape[0])
+            down.add("feature_dim", features.shape[1])
+        sp.set("feature_dim", int(features.shape[1]))
         return LayerResult(layer, features.shape[1], outcome)
 
     def _finalize_metrics(self):

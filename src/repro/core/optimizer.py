@@ -35,6 +35,7 @@ from repro.core.sizing import estimate_sizes
 from repro.dataflow.joins import BROADCAST, SHUFFLE
 from repro.dataflow.partition import DESERIALIZED, SERIALIZED
 from repro.exceptions import NoFeasiblePlan
+from repro.trace import NULL_TRACER
 
 
 #: Per-thread inference input buffer: a batch of 32 decoded 227x227x3
@@ -88,7 +89,8 @@ def num_partitions_for(s_single, cpu, num_nodes, max_partition_bytes):
 
 
 def optimize(model_stats, layers, dataset_stats, resources,
-             downstream=None, defaults=None, backend="spark"):
+             downstream=None, defaults=None, backend="spark",
+             tracer=None):
     """Run Algorithm 1 and return a :class:`VistaConfig`.
 
     Raises :class:`NoFeasiblePlan` when System Memory cannot satisfy
@@ -100,7 +102,14 @@ def optimize(model_stats, layers, dataset_stats, resources,
     persistence format) must fit cluster-wide Storage — otherwise the
     candidate ``cpu`` is rejected (lower cpu frees more Storage) and
     ultimately NoFeasiblePlan is raised.
+
+    With a ``tracer`` (:class:`~repro.trace.Tracer`), the search runs
+    under an ``optimize`` span recording the chosen configuration, how
+    many ``cpu`` candidates were rejected, and the Eq. 16 size
+    estimates the decision rested on — so traces can be checked against
+    what the executor actually measured.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     downstream = downstream or DownstreamSpec()
     defaults = defaults or SystemDefaults()
     sizing = estimate_sizes(
@@ -113,59 +122,78 @@ def optimize(model_stats, layers, dataset_stats, resources,
             model_stats, layers, dataset_stats.num_structured_features
         )
 
-    upper = min(resources.cores_per_node, defaults.cpu_max) - 1
-    for cpu in range(max(1, upper), 0, -1):
-        if not _gpu_feasible(cpu, model_stats, downstream, resources):
-            continue
-        np_ = num_partitions_for(
-            sizing.s_single, cpu, resources.num_nodes,
-            defaults.max_partition_bytes,
-        )
-        mem_worker = (
-            resources.system_memory_bytes
-            - defaults.os_reserved_bytes
-            - _dl_memory(cpu, f_mem, downstream, m_mem)
-        )
-        mem_user = user_memory_requirement(
-            model_stats, sizing.s_single, np_, cpu, m_mem, defaults.alpha
-        )
-        if mem_worker - mem_user > defaults.core_memory_bytes:
-            mem_storage = int(
-                mem_worker - mem_user - defaults.core_memory_bytes
+    with tracer.span("optimize", backend=backend,
+                     model=model_stats.name) as span:
+        span.set("estimated_table_bytes",
+                 dict(sizing.intermediate_table_bytes))
+        span.set("s_single", sizing.s_single)
+        span.set("s_double", sizing.s_double)
+        upper = min(resources.cores_per_node, defaults.cpu_max) - 1
+        for cpu in range(max(1, upper), 0, -1):
+            if not _gpu_feasible(cpu, model_stats, downstream, resources):
+                span.add("candidates_rejected")
+                continue
+            np_ = num_partitions_for(
+                sizing.s_single, cpu, resources.num_nodes,
+                defaults.max_partition_bytes,
             )
-            join = (
-                BROADCAST
-                if sizing.structured_table_bytes < defaults.max_broadcast_bytes
-                else SHUFFLE
+            mem_worker = (
+                resources.system_memory_bytes
+                - defaults.os_reserved_bytes
+                - _dl_memory(cpu, f_mem, downstream, m_mem)
             )
-            storage_per_cluster = mem_storage * resources.num_nodes
-            persistence = (
-                SERIALIZED if storage_per_cluster < sizing.s_double
-                else DESERIALIZED
+            mem_user = user_memory_requirement(
+                model_stats, sizing.s_single, np_, cpu, m_mem, defaults.alpha
             )
-            if backend == "ignite":
-                from repro.core.sizing import static_storage_need
-
-                needed = static_storage_need(
-                    sizing.s_single, persistence,
-                    model_stats.serialized_ratio, alpha=defaults.alpha,
+            if mem_worker - mem_user > defaults.core_memory_bytes:
+                mem_storage = int(
+                    mem_worker - mem_user - defaults.core_memory_bytes
                 )
-                if needed > storage_per_cluster:
-                    continue  # lower cpu frees more Storage
-            return VistaConfig(
-                cpu=cpu,
-                num_partitions=np_,
-                mem_storage_bytes=mem_storage,
-                mem_user_bytes=int(mem_user),
-                mem_dl_bytes=_dl_memory(cpu, f_mem, downstream, m_mem),
-                join=join,
-                persistence=persistence,
-            )
-    raise NoFeasiblePlan(
-        f"no cpu in [1, {max(1, upper)}] satisfies the memory constraints "
-        f"for {model_stats.name} on {resources.system_memory_bytes} B nodes; "
-        "provision machines with more memory"
-    )
+                join = (
+                    BROADCAST
+                    if sizing.structured_table_bytes
+                    < defaults.max_broadcast_bytes
+                    else SHUFFLE
+                )
+                storage_per_cluster = mem_storage * resources.num_nodes
+                persistence = (
+                    SERIALIZED if storage_per_cluster < sizing.s_double
+                    else DESERIALIZED
+                )
+                if backend == "ignite":
+                    from repro.core.sizing import static_storage_need
+
+                    needed = static_storage_need(
+                        sizing.s_single, persistence,
+                        model_stats.serialized_ratio, alpha=defaults.alpha,
+                    )
+                    if needed > storage_per_cluster:
+                        span.add("candidates_rejected")
+                        continue  # lower cpu frees more Storage
+                config = VistaConfig(
+                    cpu=cpu,
+                    num_partitions=np_,
+                    mem_storage_bytes=mem_storage,
+                    mem_user_bytes=int(mem_user),
+                    mem_dl_bytes=_dl_memory(cpu, f_mem, downstream, m_mem),
+                    join=join,
+                    persistence=persistence,
+                )
+                span.set("chosen", {
+                    "cpu": cpu, "num_partitions": np_, "join": join,
+                    "persistence": persistence,
+                    "mem_storage_bytes": mem_storage,
+                    "mem_user_bytes": int(mem_user),
+                    "mem_dl_bytes": config.mem_dl_bytes,
+                })
+                return config
+            span.add("candidates_rejected")
+        raise NoFeasiblePlan(
+            f"no cpu in [1, {max(1, upper)}] satisfies the memory "
+            f"constraints for {model_stats.name} on "
+            f"{resources.system_memory_bytes} B nodes; "
+            "provision machines with more memory"
+        )
 
 
 def _dl_memory(cpu, f_mem, downstream, m_mem):

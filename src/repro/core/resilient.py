@@ -39,6 +39,7 @@ from repro.dataflow.joins import BROADCAST, SHUFFLE
 from repro.dataflow.partition import DESERIALIZED, SERIALIZED
 from repro.exceptions import NoFeasiblePlan, WorkloadCrash
 from repro.faults.retry import RecoveryLog, RetryPolicy
+from repro.trace import NULL_TRACER
 
 
 def degrade_once(config, plan, optimize_below_fn):
@@ -107,7 +108,8 @@ class ResilientRunner:
     """
 
     def __init__(self, vista, fault_plan=None, seed=0, injector=None,
-                 retry_policy=None, max_attempts=16, recovery_log=None):
+                 retry_policy=None, max_attempts=16, recovery_log=None,
+                 tracer=None):
         if injector is None and fault_plan is not None:
             from repro.faults import FaultInjector
 
@@ -119,6 +121,7 @@ class ResilientRunner:
         self.recovery_log = (
             recovery_log if recovery_log is not None else RecoveryLog()
         )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     def run(self, plan=None, premat_layer=None, feature_store=None):
@@ -135,9 +138,15 @@ class ResilientRunner:
 
         vista = self.vista
         recovery = self.recovery_log
+        tracer = self.tracer
         if self.injector is not None and self.injector.recovery_log is None:
             self.injector.recovery_log = recovery
-        config = vista._config or vista.optimize()
+        if (self.injector is not None and tracer.enabled
+                and tracer.clock is None):
+            tracer.clock = self.injector.clock
+        config = vista._config or vista.optimize(
+            tracer=tracer if tracer.enabled else None
+        )
         plan = plan or vista.plan
         cnn = build_model(
             vista.model_name, profile=vista.model_profile,
@@ -155,9 +164,13 @@ class ResilientRunner:
                 context, cnn, vista.dataset, vista.layers, config,
                 downstream_fn=vista.downstream_fn,
                 feature_store=feature_store,
+                tracer=tracer if tracer.enabled else None,
             )
             try:
-                result = executor.run(plan, premat_layer=premat_layer)
+                with tracer.span(f"attempt:{attempt}", plan=plan.label,
+                                 cpu=config.cpu, join=config.join,
+                                 persistence=config.persistence):
+                    result = executor.run(plan, premat_layer=premat_layer)
             except WorkloadCrash as crash:
                 if not crash.retryable or attempt >= self.max_attempts:
                     raise
@@ -170,6 +183,12 @@ class ResilientRunner:
                     plan=plan.label, cpu=config.cpu, join=config.join,
                     persistence=config.persistence,
                     sim_time_s=self._sim_time(),
+                )
+                tracer.event(
+                    "degrade", attempt=attempt,
+                    crash=type(crash).__name__, step=step,
+                    plan=plan.label, cpu=config.cpu, join=config.join,
+                    persistence=config.persistence,
                 )
                 continue
             result.metrics["recovery_log"] = [dict(e) for e in recovery]

@@ -93,6 +93,31 @@ def static_storage_need(cached_bytes, persistence, serialized_ratio,
     return int(cached_bytes)
 
 
+def estimate_sizes_from_cnn(cnn, layers, dataset_stats, alpha=2.0):
+    """Eq. 16 per-layer estimates computed from an *executable* CNN's
+    actual layer shapes instead of the paper-scale roster statistics.
+
+    This is what the tracer records next to measured intermediate
+    sizes: at mini scale the roster's 227x227 shapes would be
+    meaningless, but Eq. 16 itself is scale-free — per record the
+    intermediate table T_i holds two 8-byte slots plus the flat float32
+    feature tensor, blown up by ``alpha``, plus the structured table.
+    Returns ``{layer: estimated_bytes}``.
+    """
+    estimates = {}
+    for layer in layers:
+        shape = cnn.output_shape_of(layer)
+        flat_dim = 1
+        for dim in shape:
+            flat_dim *= dim
+        per_record = 8 + 8 + 4 * flat_dim
+        estimates[layer] = int(
+            alpha * dataset_stats.num_records * per_record
+            + dataset_stats.structured_table_bytes()
+        )
+    return estimates
+
+
 def eager_table_bytes(model_stats, layers, dataset_stats, alpha=2.0):
     """Size of the Eager plan's all-layers-at-once table: one record
     holds the TensorList of *every* layer in L."""

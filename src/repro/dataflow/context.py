@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.memory.model import GB, MemoryAccountant
 from repro.dataflow.storage import StorageManager
+from repro.trace import NULL_TRACER
 
 
 class Worker:
@@ -58,6 +59,21 @@ class ClusterContext:
         #: land on an excluded worker fail over deterministically to
         #: the next live node in ring order.
         self.excluded_workers = set()
+        #: Structured tracer shared by every layer running on this
+        #: context; NULL_TRACER (no-op) unless attach_tracer is called.
+        self.tracer = NULL_TRACER
+
+    def attach_tracer(self, tracer):
+        """Share a :class:`~repro.trace.Tracer` with the dataflow
+        engine, the storage managers, and (via the shared simulated
+        clock) the fault/recovery layer."""
+        self.tracer = tracer
+        for worker in self.workers:
+            worker.storage.tracer = tracer
+        injector = getattr(self, "fault_injector", None)
+        if injector is not None and tracer.enabled and tracer.clock is None:
+            tracer.clock = injector.clock
+        return tracer
 
     def worker_for(self, partition_index):
         if not self.excluded_workers:

@@ -44,6 +44,7 @@ from repro.exceptions import TaskFailure, WorkerLost, WorkloadCrash
 from repro.faults.clock import SimulatedClock
 from repro.faults.retry import RetryPolicy
 from repro.memory.model import Region
+from repro.trace import NULL_TRACER
 
 _DEFAULT_POLICY = RetryPolicy()
 
@@ -83,6 +84,8 @@ def run_partition_tasks(context, partitions, task_fn, region=Region.USER,
     recovery = getattr(context, "recovery_log", None)
     clock = injector.clock if injector is not None else SimulatedClock()
     attempts = defaultdict(int)
+    tracer = getattr(context, "tracer", NULL_TRACER)
+    tracer.add("partitions", len(partitions))
     pending = list(enumerate(partitions))
     while pending:
         retry_next = []
@@ -102,8 +105,10 @@ def _run_worker_share(context, worker, items, task_fn, region, charge_fn,
                       what, results, attempts, retry_next, policy, injector,
                       recovery, clock):
     """Run one worker's partitions in waves of ``context.cpu``."""
+    tracer = getattr(context, "tracer", NULL_TRACER)
     for start in range(0, len(items), context.cpu):
         wave = items[start:start + context.cpu]
+        tracer.add("waves")
         try:
             if injector is not None:
                 injector.on_wave_start(worker.node_id, what=what)
@@ -145,6 +150,7 @@ def _run_wave(context, worker, wave, task_fn, region, charge_fn, what,
     in a real cluster); WorkerLost propagates to the caller."""
     charged = 0
     wave_results = []
+    tracer = getattr(context, "tracer", NULL_TRACER)
     try:
         for position, partition in wave:
             attempt = attempts[partition.index] = attempts[partition.index] + 1
@@ -156,12 +162,14 @@ def _run_wave(context, worker, wave, task_fn, region, charge_fn, what,
                     )
                 result = task_fn(partition)
                 worker.tasks_run += 1
+                tracer.add("tasks")
                 if charge_fn is not None:
                     nbytes = charge_fn(partition, result)
                     # count before charging: charge() increments used
                     # before raising, so the finally block must
                     # release it either way
                     charged += nbytes
+                    tracer.add("charged_bytes", nbytes)
                     worker.accountant.charge(region, nbytes, what=what)
             except WorkerLost:
                 raise
@@ -186,6 +194,7 @@ def _handle_task_failure(context, worker, position, partition, attempt, exc,
         worker.task_failures += 1
         backoff = policy.backoff_s(attempt)
         clock.advance(backoff)
+        getattr(context, "tracer", NULL_TRACER).add("task_retries")
         _record(recovery, clock, "task_retry", table=what,
                 partition=partition.index, worker=worker.node_id,
                 attempt=attempt, fault=type(exc).__name__,

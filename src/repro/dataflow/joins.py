@@ -24,6 +24,7 @@ from repro.dataflow.partition import Partition
 from repro.dataflow.record import estimate_rows_bytes
 from repro.dataflow.executor import run_partition_tasks
 from repro.memory.model import Region
+from repro.trace import NULL_TRACER
 
 SHUFFLE = "shuffle"
 BROADCAST = "broadcast"
@@ -50,46 +51,56 @@ def shuffle_hash_join(left, right, num_partitions=None, name=None,
         )
     if num_partitions is None:
         num_partitions = max(left.num_partitions, right.num_partitions)
-    left_shuffled = left.repartition_by_key(num_partitions)
-    right_shuffled = right.repartition_by_key(num_partitions)
+    tracer = getattr(left.context, "tracer", NULL_TRACER)
+    with tracer.span("join:shuffle", left=left.name, right=right.name,
+                     strategy=SHUFFLE) as sp:
+        left_shuffled = left.repartition_by_key(num_partitions)
+        right_shuffled = right.repartition_by_key(num_partitions)
 
-    # Build on the smaller side, probe with the larger.
-    if left.memory_bytes() <= right.memory_bytes():
-        build, probe = left_shuffled, right_shuffled
-    else:
-        build, probe = right_shuffled, left_shuffled
-    build_rows = {p.index: p.rows() for p in build.partitions}
+        # Build on the smaller side, probe with the larger.
+        if left.memory_bytes() <= right.memory_bytes():
+            build, probe = left_shuffled, right_shuffled
+        else:
+            build, probe = right_shuffled, left_shuffled
+        build_rows = {p.index: p.rows() for p in build.partitions}
 
-    def task(probe_partition):
-        rows = build_rows.get(probe_partition.index, [])
-        table = {}
-        for row in rows:
-            table[row[build.key]] = row
-        joined = []
-        for row in probe_partition.rows():
-            match = table.get(row[probe.key])
-            if match is not None:
-                joined.append(_merge(row, match))
-        return joined
+        def task(probe_partition):
+            rows = build_rows.get(probe_partition.index, [])
+            table = {}
+            for row in rows:
+                table[row[build.key]] = row
+            joined = []
+            for row in probe_partition.rows():
+                match = table.get(row[probe.key])
+                if match is not None:
+                    joined.append(_merge(row, match))
+            return joined
 
-    def charge(probe_partition, joined):
-        build_bytes = estimate_rows_bytes(
-            build_rows.get(probe_partition.index, [])
+        def charge(probe_partition, joined):
+            build_bytes = estimate_rows_bytes(
+                build_rows.get(probe_partition.index, [])
+            )
+            return int(core_alpha * build_bytes)
+
+        outputs = run_partition_tasks(
+            left.context, probe.partitions, task, region=Region.CORE,
+            charge_fn=charge, what="shuffle-hash join build",
         )
-        return int(core_alpha * build_bytes)
-
-    outputs = run_partition_tasks(
-        left.context, probe.partitions, task, region=Region.CORE,
-        charge_fn=charge, what="shuffle-hash join build",
-    )
-    partitions = [
-        Partition.from_rows(p.index, rows)
-        for p, rows in zip(probe.partitions, outputs)
-    ]
-    return DistributedTable(
-        left.context, partitions, name=name, key=left.key,
-        lineage=("shuffle-join", left.name, right.name),
-    )
+        partitions = [
+            Partition.from_rows(p.index, rows)
+            for p, rows in zip(probe.partitions, outputs)
+        ]
+        result = DistributedTable(
+            left.context, partitions, name=name, key=left.key,
+            lineage=("shuffle-join", left.name, right.name),
+        )
+        if tracer.enabled:
+            sp.set("build_side", build.name)
+            sp.add("rows_left", left.num_rows())
+            sp.add("rows_right", right.num_rows())
+            sp.add("rows_out", result.num_rows())
+            sp.add("bytes_out", result.memory_bytes())
+        return result
 
 
 def broadcast_join(small, big, name=None):
@@ -99,44 +110,54 @@ def broadcast_join(small, big, name=None):
     if small.key != big.key:
         raise ValueError(f"key mismatch: {small.key!r} vs {big.key!r}")
     context = small.context
-    small_rows = small.collect()  # charges Driver memory
-    small_bytes = estimate_rows_bytes(small_rows)
-    lookup = {row[small.key]: row for row in small_rows}
+    tracer = getattr(context, "tracer", NULL_TRACER)
+    with tracer.span("join:broadcast", small=small.name, big=big.name,
+                     strategy=BROADCAST) as sp:
+        small_rows = small.collect()  # charges Driver memory
+        small_bytes = estimate_rows_bytes(small_rows)
+        lookup = {row[small.key]: row for row in small_rows}
+        sp.add("broadcast_bytes", small_bytes)
 
-    # A full copy of the broadcast table lives in every worker's User
-    # Memory for the duration of the join.
-    charged = []
-    try:
-        for worker in context.workers:
-            worker.accountant.charge(
-                Region.USER, small_bytes, what="broadcast table copy"
+        # A full copy of the broadcast table lives in every worker's
+        # User Memory for the duration of the join.
+        charged = []
+        try:
+            for worker in context.workers:
+                worker.accountant.charge(
+                    Region.USER, small_bytes, what="broadcast table copy"
+                )
+                charged.append(worker)
+
+            def task(partition):
+                joined = []
+                for row in partition.rows():
+                    match = lookup.get(row[big.key])
+                    if match is not None:
+                        joined.append(_merge(row, match))
+                return joined
+
+            outputs = run_partition_tasks(
+                context, big.partitions, task, region=Region.USER,
+                charge_fn=lambda p, rows: estimate_rows_bytes(rows),
+                what="broadcast join output",
             )
-            charged.append(worker)
-
-        def task(partition):
-            joined = []
-            for row in partition.rows():
-                match = lookup.get(row[big.key])
-                if match is not None:
-                    joined.append(_merge(row, match))
-            return joined
-
-        outputs = run_partition_tasks(
-            context, big.partitions, task, region=Region.USER,
-            charge_fn=lambda p, rows: estimate_rows_bytes(rows),
-            what="broadcast join output",
+        finally:
+            for worker in charged:
+                worker.accountant.release(Region.USER, small_bytes)
+        partitions = [
+            Partition.from_rows(p.index, rows)
+            for p, rows in zip(big.partitions, outputs)
+        ]
+        result = DistributedTable(
+            context, partitions, name=name, key=big.key,
+            lineage=("broadcast-join", small.name, big.name),
         )
-    finally:
-        for worker in charged:
-            worker.accountant.release(Region.USER, small_bytes)
-    partitions = [
-        Partition.from_rows(p.index, rows)
-        for p, rows in zip(big.partitions, outputs)
-    ]
-    return DistributedTable(
-        context, partitions, name=name, key=big.key,
-        lineage=("broadcast-join", small.name, big.name),
-    )
+        if tracer.enabled:
+            sp.add("rows_small", small.num_rows())
+            sp.add("rows_big", big.num_rows())
+            sp.add("rows_out", result.num_rows())
+            sp.add("bytes_out", result.memory_bytes())
+        return result
 
 
 def join(left, right, how=SHUFFLE, num_partitions=None, name=None):

@@ -18,14 +18,22 @@ from collections import OrderedDict
 
 from repro.dataflow.partition import DESERIALIZED
 from repro.exceptions import StorageMemoryExceeded
+from repro.trace import NULL_TRACER
 
 
 class StorageManager:
-    """Per-worker storage region with LRU eviction and spill metering."""
+    """Per-worker storage region with LRU eviction and spill metering.
+
+    With a tracer attached (``ClusterContext.attach_tracer``), every
+    admission, LRU spill, and spill re-read also lands on the current
+    trace span as ``storage_*`` counters and ``spill``/``spill_read``
+    events, so traces show exactly which cached table paid disk I/O.
+    """
 
     def __init__(self, capacity_bytes, spill_enabled=True):
         self.capacity_bytes = int(capacity_bytes)
         self.spill_enabled = spill_enabled
+        self.tracer = NULL_TRACER
         self._cached = OrderedDict()   # key -> (partition, bytes)
         self._spilled = {}             # key -> (partition, bytes)
         self.used_bytes = 0
@@ -54,6 +62,7 @@ class StorageManager:
         self._cached[key] = (partition, nbytes)
         self.used_bytes += nbytes
         self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        self.tracer.add("storage_cached_bytes", nbytes)
 
     def _make_room(self, needed):
         while self.used_bytes + needed > self.capacity_bytes and self._cached:
@@ -68,6 +77,8 @@ class StorageManager:
             self.used_bytes -= nbytes
             self.spilled_bytes_total += nbytes
             self.eviction_count += 1
+            self.tracer.add("storage_spill_bytes", nbytes)
+            self.tracer.event("spill", key=str(evict_key), bytes=nbytes)
         if self.used_bytes + needed > self.capacity_bytes:
             if not self.spill_enabled:
                 raise StorageMemoryExceeded(
@@ -89,6 +100,8 @@ class StorageManager:
         if key in self._spilled:
             partition, nbytes = self._spilled.pop(key)
             self.spill_read_bytes_total += nbytes
+            self.tracer.add("storage_spill_read_bytes", nbytes)
+            self.tracer.event("spill_read", key=str(key), bytes=nbytes)
             self._make_room(nbytes)
             if self.used_bytes + nbytes <= self.capacity_bytes:
                 self._cached[key] = (partition, nbytes)

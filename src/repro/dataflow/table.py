@@ -12,6 +12,7 @@ from repro.dataflow.partition import DESERIALIZED, Partition
 from repro.dataflow.record import estimate_record_bytes, estimate_rows_bytes
 from repro.dataflow.executor import run_partition_tasks
 from repro.memory.model import Region
+from repro.trace import NULL_TRACER
 
 
 class DistributedTable:
@@ -94,18 +95,26 @@ class DistributedTable:
         def charge(partition, out_rows):
             return int(user_alpha * estimate_rows_bytes(out_rows))
 
-        outputs = run_partition_tasks(
-            self.context, self.partitions, task, region=Region.USER,
-            charge_fn=charge, what=f"map over {self.name}",
-        )
-        partitions = [
-            Partition.from_rows(p.index, rows)
-            for p, rows in zip(self.partitions, outputs)
-        ]
-        return DistributedTable(
-            self.context, partitions, name=name, key=self.key,
-            lineage=("map", self.name),
-        )
+        tracer = getattr(self.context, "tracer", NULL_TRACER)
+        with tracer.span(f"map:{name or self.name}", table=self.name) as sp:
+            outputs = run_partition_tasks(
+                self.context, self.partitions, task, region=Region.USER,
+                charge_fn=charge, what=f"map over {self.name}",
+            )
+            partitions = [
+                Partition.from_rows(p.index, rows)
+                for p, rows in zip(self.partitions, outputs)
+            ]
+            result = DistributedTable(
+                self.context, partitions, name=name, key=self.key,
+                lineage=("map", self.name),
+            )
+            if tracer.enabled:
+                sp.set("out_table", result.name)
+                sp.add("rows_in", self.num_rows())
+                sp.add("rows_out", result.num_rows())
+                sp.add("bytes_out", result.memory_bytes())
+        return result
 
     def project(self, fields, name=None):
         """Keep only ``fields`` (the key is always kept)."""
@@ -125,35 +134,48 @@ class DistributedTable:
         """Hash-partition rows on the key into ``num_partitions``
         shuffle blocks, metering the shuffled bytes on the context."""
         num_partitions = max(1, int(num_partitions))
-        buckets = [[] for _ in range(num_partitions)]
-        shuffled = 0
-        for partition in self.partitions:
-            for row in partition.rows():
-                bucket = hash(row[self.key]) % num_partitions
-                buckets[bucket].append(row)
-                shuffled += estimate_record_bytes(row)
-        _meter_shuffle(self.context, shuffled)
-        partitions = [
-            Partition.from_rows(index, bucket)
-            for index, bucket in enumerate(buckets)
-        ]
-        return DistributedTable(
-            self.context, partitions, name=name, key=self.key,
-            lineage=("shuffle", self.name),
-        )
+        tracer = getattr(self.context, "tracer", NULL_TRACER)
+        with tracer.span(f"shuffle:{self.name}", table=self.name) as sp:
+            buckets = [[] for _ in range(num_partitions)]
+            shuffled = 0
+            for partition in self.partitions:
+                for row in partition.rows():
+                    bucket = hash(row[self.key]) % num_partitions
+                    buckets[bucket].append(row)
+                    shuffled += estimate_record_bytes(row)
+            _meter_shuffle(self.context, shuffled)
+            sp.add("rows", sum(len(b) for b in buckets))
+            sp.add("shuffle_bytes", shuffled)
+            sp.add("partitions", num_partitions)
+            partitions = [
+                Partition.from_rows(index, bucket)
+                for index, bucket in enumerate(buckets)
+            ]
+            return DistributedTable(
+                self.context, partitions, name=name, key=self.key,
+                lineage=("shuffle", self.name),
+            )
 
     def cache(self, persistence=DESERIALIZED):
         """Persist every partition in its worker's Storage region."""
-        for partition in self.partitions:
-            if persistence != DESERIALIZED:
-                partition.drop_rows()
-            worker = self.context.worker_for(partition.index)
-            worker.storage.cache(
-                (self.name, partition.index), partition, persistence
-            )
+        tracer = getattr(self.context, "tracer", NULL_TRACER)
+        with tracer.span(f"cache:{self.name}", table=self.name,
+                         persistence=persistence) as sp:
+            for partition in self.partitions:
+                if persistence != DESERIALIZED:
+                    partition.drop_rows()
+                worker = self.context.worker_for(partition.index)
+                worker.storage.cache(
+                    (self.name, partition.index), partition, persistence
+                )
+            if tracer.enabled:
+                sp.add("bytes", self.memory_bytes(persistence))
+                sp.add("partitions", self.num_partitions)
         return self
 
     def unpersist(self):
+        tracer = getattr(self.context, "tracer", NULL_TRACER)
+        tracer.event("unpersist", table=self.name)
         for partition in self.partitions:
             worker = self.context.worker_for(partition.index)
             worker.storage.evict((self.name, partition.index))
@@ -163,6 +185,8 @@ class DistributedTable:
         """Gather all rows at the driver (charged to Driver memory —
         crash scenario (4) of Section 4.1)."""
         nbytes = self.memory_bytes()
+        tracer = getattr(self.context, "tracer", NULL_TRACER)
+        tracer.add("collect_bytes", nbytes)
         self.context.driver.charge(
             Region.DRIVER, nbytes, what=f"collect of {self.name}"
         )

@@ -1,6 +1,7 @@
 """Plain-text reporting: ASCII bar and line charts for the benchmark
-suite's figure reproductions."""
+suite's figure reproductions, plus the flame-style trace renderer."""
 
 from repro.report.ascii import bar_chart, line_chart
+from repro.report.trace_ascii import render_trace
 
-__all__ = ["bar_chart", "line_chart"]
+__all__ = ["bar_chart", "line_chart", "render_trace"]

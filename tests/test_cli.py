@@ -59,6 +59,36 @@ def test_run_command(capsys):
     assert "train F1" in out
 
 
+def test_run_command_with_trace(capsys, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    assert main([
+        "run", "--model", "alexnet", "--records", "24", "--nodes", "2",
+        "--trace", "--trace-json", str(trace_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "### trace:" in out
+    assert "workload" in out
+    assert "inference:fc7" in out
+    assert "per-operator CNN time:" in out
+    assert "~ sizing fc7" in out
+
+    import json
+
+    exported = json.loads(trace_path.read_text())
+    names = []
+
+    def walk(node):
+        names.append(node["name"])
+        for child in node["children"]:
+            walk(child)
+
+    walk(exported)
+    for expected in ("optimize", "read", "workload", "inference:fc7",
+                     "train:fc8"):
+        assert any(n == expected or n.startswith(expected)
+                   for n in names), f"span {expected} missing from JSON"
+
+
 def test_parser_rejects_unknown_model():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["plan", "--model", "inception"])

@@ -1,0 +1,148 @@
+"""Property-based cross-plan equivalence (Section 5.2).
+
+The paper's core correctness claim is that all logical plans are
+*semantically interchangeable*: "All approaches ... yield identical
+downstream models." This suite hammers that invariant over a matrix of
+randomized-but-seeded mini workloads — model, layer count, dataset
+size/seed, partition count, cpu, join operator, and persistence format
+are all drawn from a per-seed ``random.Random`` — and asserts that
+every logical plan produces
+
+- **bit-identical** per-layer feature matrices (``np.array_equal``,
+  not allclose: partitioning and staging change batch composition but
+  every kernel is per-record deterministic, so there is no legitimate
+  source of drift), and
+- identical downstream training accuracy (the deterministic logistic
+  regression sees identical inputs, so F1 must match exactly).
+
+The seed list is fixed so CI runs an exact, reproducible matrix; add
+seeds to widen coverage.
+"""
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.cnn import build_model
+from repro.core.config import VistaConfig
+from repro.core.executor import FeatureTransferExecutor, default_downstream
+from repro.core.plans import ALL_PLANS
+from repro.data import foods_dataset
+from repro.dataflow.context import local_context
+
+#: Fixed seed matrix (>= 20 configs, per the tier-2 CI contract).
+SEEDS = list(range(24))
+
+# CI shards the matrix with PLAN_EQUIV_SHARD="<shard>/<of>" (e.g.
+# "1/3" keeps seeds where seed % 3 == 1) so a failing seed names its
+# shard; unset runs everything.
+_SHARD = os.environ.get("PLAN_EQUIV_SHARD")
+if _SHARD:
+    _shard, _of = (int(part) for part in _SHARD.split("/"))
+    SEEDS = [seed for seed in SEEDS if seed % _of == _shard]
+
+#: Mini-profile zoo subset; vgg16 mini is covered by the integration
+#: suite and adds the most runtime, so the property matrix rotates
+#: between the cheapest and the deepest-structured model.
+MODELS = ["alexnet", "resnet50"]
+
+_MODEL_CACHE = {}
+
+
+def _model(name):
+    if name not in _MODEL_CACHE:
+        _MODEL_CACHE[name] = build_model(name, profile="mini")
+    return _MODEL_CACHE[name]
+
+
+def workload_from_seed(seed):
+    """Draw one mini workload configuration from a seeded RNG."""
+    rng = random.Random(seed)
+    model_name = rng.choice(MODELS)
+    model = _model(model_name)
+    num_layers = rng.choice([1, 2, 3])
+    layers = model.feature_layers[-num_layers:]
+    dataset = foods_dataset(
+        num_records=rng.choice([10, 14, 18, 22]),
+        seed=rng.randrange(1000),
+    )
+    config = VistaConfig(
+        cpu=rng.choice([1, 2, 3]),
+        num_partitions=rng.choice([2, 3, 4, 8]),
+        mem_storage_bytes=10**9,
+        mem_user_bytes=10**9,
+        mem_dl_bytes=10**9,
+        join=rng.choice(["shuffle", "broadcast"]),
+        persistence=rng.choice(["deserialized", "serialized"]),
+    )
+    return model_name, model, layers, dataset, config
+
+
+def _downstream(features, labels):
+    outcome = default_downstream(features, labels)
+    return {
+        "matrix": features.copy(),
+        "f1_train": outcome["f1_train"],
+    }
+
+
+def _run_plan(model, dataset, layers, config, plan):
+    ctx = local_context(num_nodes=2, cores_per_node=4, cpu=config.cpu)
+    executor = FeatureTransferExecutor(
+        ctx, model, dataset, list(layers), config,
+        downstream_fn=_downstream,
+    )
+    return executor.run(plan)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_all_plans_equivalent(seed):
+    model_name, model, layers, dataset, config = workload_from_seed(seed)
+    reference = _run_plan(model, dataset, layers, config,
+                          ALL_PLANS["staged"])
+    for name, plan in ALL_PLANS.items():
+        if name == "staged":
+            continue
+        result = _run_plan(model, dataset, layers, config, plan)
+        assert sorted(result.layer_results) == sorted(
+            reference.layer_results
+        ), f"seed {seed} ({model_name}): {name} trained different layers"
+        for layer in reference.layer_results:
+            ref = reference.layer_results[layer].downstream
+            got = result.layer_results[layer].downstream
+            assert np.array_equal(got["matrix"], ref["matrix"]), (
+                f"seed {seed} ({model_name}, {config.join}/"
+                f"{config.persistence}, np={config.num_partitions}): "
+                f"plan {name} diverged bitwise on layer {layer}; "
+                f"max abs diff "
+                f"{np.max(np.abs(got['matrix'] - ref['matrix']))}"
+            )
+            assert got["f1_train"] == ref["f1_train"], (
+                f"seed {seed}: plan {name} downstream accuracy diverged "
+                f"on {layer}: {got['f1_train']} != {ref['f1_train']}"
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_plans_equivalent_under_tracing(seed):
+    """Tracing must be purely observational: a traced run's features
+    are bit-identical to the untraced run's."""
+    from repro.trace import Tracer
+
+    _, model, layers, dataset, config = workload_from_seed(seed)
+    plain = _run_plan(model, dataset, layers, config, ALL_PLANS["staged"])
+
+    ctx = local_context(num_nodes=2, cores_per_node=4, cpu=config.cpu)
+    executor = FeatureTransferExecutor(
+        ctx, model, dataset, list(layers), config,
+        downstream_fn=_downstream, tracer=Tracer(),
+    )
+    traced = executor.run(ALL_PLANS["staged"])
+    assert traced.trace is not None
+    for layer in plain.layer_results:
+        assert np.array_equal(
+            traced.layer_results[layer].downstream["matrix"],
+            plain.layer_results[layer].downstream["matrix"],
+        ), f"seed {seed}: tracing perturbed features on {layer}"
