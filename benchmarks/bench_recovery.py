@@ -13,8 +13,11 @@ Every scenario repeat runs under a ``scenario:<label>`` span of one
 shared tracer (the last repeat additionally threads the tracer through
 the supervisor, capturing the full attempt/degrade span tree), and the
 reported numbers — wall seconds, workload attempts, degradation steps
-— are read back out of those spans. ``BENCH_recovery.json`` is the
-shared ``trace/v1`` envelope so future PRs have a recovery-overhead
+— are read back out of those spans. The final repeat also runs with a
+per-scenario :class:`~repro.metrics.MetricsRegistry` (tagged via
+``base_labels``), and the merged metrics block lands in the committed
+envelope next to the trace. ``BENCH_recovery.json`` is the shared
+``trace/v2`` envelope so future PRs have a recovery-overhead
 trajectory to compare against. The committed result file is
 intentionally tracked in git: it is the perf record, not a scratch
 artifact.
@@ -40,6 +43,7 @@ from harness import print_table, trace_payload, write_results  # noqa: E402
 from repro.core.api import Vista, default_resources  # noqa: E402
 from repro.data import foods_dataset  # noqa: E402
 from repro.faults import FaultPlan  # noqa: E402
+from repro.metrics import MetricsRegistry, merge_exports  # noqa: E402
 from repro.trace import Tracer  # noqa: E402
 
 RESULT_PATH = os.path.join(
@@ -85,15 +89,20 @@ def run_scenario(label, plan_factory, records, repeats, baseline_matrices,
     scenario_spans = []
     deep_span = None
     result = None
+    metrics = None
     for repeat in range(repeats):
         vista = make_vista(records)
         plan = plan_factory()
         deep = repeat == repeats - 1
         tracer.clock = None  # each scenario brings a fresh injector clock
+        if deep:
+            metrics = MetricsRegistry(base_labels={"scenario": label})
         with tracer.span(f"scenario:{label}", repeat=repeat,
                          traced_run=deep) as sp:
             result = vista.run_resilient(
-                fault_plan=plan, seed=SEED, tracer=tracer if deep else None
+                fault_plan=plan, seed=SEED,
+                tracer=tracer if deep else None,
+                metrics=metrics if deep else None,
             )
         scenario_spans.append(sp)
         if deep:
@@ -121,7 +130,7 @@ def run_scenario(label, plan_factory, records, repeats, baseline_matrices,
         f"{label}: trace saw {trace_degrades} degrades, recovery log "
         f"{count('degrade')}"
     )
-    return {
+    row = {
         "scenario": label,
         "wall_seconds": min(sp.wall_s for sp in scenario_spans),
         "tasks_run": result.metrics["tasks_run"],
@@ -132,6 +141,7 @@ def run_scenario(label, plan_factory, records, repeats, baseline_matrices,
         "sim_recovery_seconds": result.metrics.get("sim_time_s", 0.0),
         "faults_injected": result.metrics.get("faults_injected", {}),
     }
+    return row, metrics
 
 
 def main(argv=None):
@@ -150,11 +160,14 @@ def main(argv=None):
 
     tracer = Tracer(name="bench_recovery")
     results = []
+    scenario_metrics = []
     for label, factory in _scenarios().items():
-        results.append(run_scenario(
+        row, metrics = run_scenario(
             label, factory, args.records, repeats, baseline_matrices,
             tracer,
-        ))
+        )
+        results.append(row)
+        scenario_metrics.append(metrics.export())
     base_wall = next(
         r["wall_seconds"] for r in results if r["scenario"] == "fault-free"
     )
@@ -196,6 +209,7 @@ def main(argv=None):
     if not args.quick:
         write_results(RESULT_PATH, trace_payload(
             "recovery", results, trace=tracer,
+            metrics=merge_exports(*scenario_metrics),
             records=args.records, repeats=repeats, seed=SEED,
         ))
         print(f"\nwrote {RESULT_PATH}")

@@ -14,6 +14,10 @@ from contextlib import contextmanager
 
 from repro.cnn import get_model_stats
 from repro.core.config import DatasetStats
+# Metric-series lookups, mirroring find_span/span_seconds for the
+# trace/v2 metrics block: benches resolve a committed envelope's
+# series and read its peak/total back out.
+from repro.metrics import find_series, series_peak  # noqa: F401
 
 #: The paper's workload grid: CNN -> number of layers explored.
 PAPER_LAYER_COUNTS = {"alexnet": 4, "vgg16": 3, "resnet50": 5}
@@ -108,28 +112,36 @@ def write_results(path, payload):
 
 
 #: Version tag of the shared trace-derived BENCH_*.json layout.
-TRACE_SCHEMA = "trace/v1"
+#: ``trace/v2`` extends v1 with a ``metrics`` block — the time-series
+#: export of a :class:`~repro.metrics.MetricsRegistry` — next to the
+#: span tree.
+TRACE_SCHEMA = "trace/v2"
 
 
-def trace_payload(bench, results, trace=None, **params):
+def trace_payload(bench, results, trace=None, metrics=None, **params):
     """The shared BENCH_*.json layout: every bench commits the same
     envelope — a schema tag, the bench name, its parameters, the
-    result rows, and the span tree the rows were derived from — so
-    downstream tooling reads one format.
+    result rows, the span tree the rows were derived from, and the
+    metrics block — so downstream tooling reads one format.
 
     ``trace`` is a :class:`~repro.trace.Tracer`, a Span, or an already
-    exported dict (None for benches run with tracing off).
+    exported dict (None for benches run with tracing off). ``metrics``
+    is a :class:`~repro.metrics.MetricsRegistry`, an already exported
+    metrics dict (e.g. from ``merge_exports``), or None.
     """
     if trace is not None and hasattr(trace, "export"):
         trace = trace.export()
     elif trace is not None and hasattr(trace, "to_dict"):
         trace = trace.to_dict()
+    if metrics is not None and hasattr(metrics, "export"):
+        metrics = metrics.export()
     return {
         "schema": TRACE_SCHEMA,
         "bench": bench,
         "params": dict(params),
         "results": results,
         "trace": trace,
+        "metrics": metrics,
     }
 
 

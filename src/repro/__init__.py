@@ -32,6 +32,7 @@ from repro.exceptions import (
     WorkloadCrash,
 )
 from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.metrics import NULL_METRICS, MetricsRegistry
 from repro.trace import Tracer
 
 __version__ = "1.0.0"
@@ -40,6 +41,8 @@ __all__ = [
     "DatasetStats",
     "FaultInjector",
     "FaultPlan",
+    "MetricsRegistry",
+    "NULL_METRICS",
     "NoFeasiblePlan",
     "ResilientRunner",
     "Resources",

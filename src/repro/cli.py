@@ -13,6 +13,9 @@ estimate
 run
     Execute the workload end to end at mini scale on the real engines
     with a synthetic dataset, printing per-layer downstream F1.
+report
+    Render a recorded metrics export (memory waterlines, crash
+    attribution) or diff two exports against a regression gate.
 """
 
 from __future__ import annotations
@@ -157,16 +160,58 @@ def cmd_estimate(args):
     return 0
 
 
+def _write_run_export(path, args, metrics_registry, tracer, result=None,
+                      crash=None):
+    """Write a ``trace/v2`` envelope for a metrics-enabled run: the
+    summary metrics as ``results`` plus the trace and metrics blocks,
+    so ``repro report --compare`` can gate run against run."""
+    import json
+
+    results = {}
+    if result is not None:
+        results = {
+            key: value for key, value in result.metrics.items()
+            if key != "recovery_log"
+        }
+    if crash is not None:
+        results["crashed"] = True
+        results["crash_exception"] = type(crash).__name__
+    envelope = {
+        "schema": "trace/v2",
+        "bench": "run",
+        "params": {
+            "model": args.model, "dataset": args.dataset,
+            "records": args.records, "nodes": args.nodes,
+            "layers": args.layers or 2,
+        },
+        "results": results,
+        "trace": tracer.export() if tracer is not None else None,
+        "metrics": (
+            metrics_registry.export()
+            if metrics_registry is not None else None
+        ),
+    }
+    with open(path, "w") as handle:
+        json.dump(envelope, handle, indent=2, sort_keys=True, default=str)
+    print(f"metrics export written to {path}")
+
+
 def cmd_run(args):
     from repro import Vista
     from repro.core.config import Resources
     from repro.data import amazon_dataset, foods_dataset
+    from repro.exceptions import WorkloadCrash
 
     tracer = None
     if args.trace or args.trace_json:
         from repro.trace import Tracer
 
         tracer = Tracer()
+    metrics_registry = None
+    if args.metrics or args.metrics_json:
+        from repro.metrics import MetricsRegistry
+
+        metrics_registry = MetricsRegistry()
     maker = foods_dataset if args.dataset == "foods" else amazon_dataset
     dataset = maker(num_records=args.records)
     resources = Resources(
@@ -181,9 +226,23 @@ def cmd_run(args):
         dataset=dataset,
         resources=resources,
     )
-    config = vista.optimize(tracer=tracer)
+    config = vista.optimize(tracer=tracer, metrics=metrics_registry)
     print(f"optimizer: {config.describe()}")
-    result = vista.run(tracer=tracer)
+    try:
+        result = vista.run(tracer=tracer, metrics=metrics_registry)
+    except WorkloadCrash as crash:
+        print(f"CRASHED: {type(crash).__name__}: {crash}")
+        if metrics_registry is not None:
+            from repro.report import render_crash_report
+
+            print()
+            print(render_crash_report(metrics_registry))
+            if args.metrics_json:
+                _write_run_export(
+                    args.metrics_json, args, metrics_registry, tracer,
+                    crash=crash,
+                )
+        return 1
     for layer, layer_result in result.layer_results.items():
         print(f"  {layer:10s} dim={layer_result.feature_dim:<6d} "
               f"train F1={layer_result.downstream['f1_train']:.3f}")
@@ -203,7 +262,42 @@ def cmd_run(args):
                 json.dump(exported, handle, indent=2, sort_keys=True,
                           default=str)
             print(f"trace written to {args.trace_json}")
+    if metrics_registry is not None:
+        if args.metrics:
+            from repro.report import render_report
+
+            print()
+            print(render_report(metrics_registry))
+        if args.metrics_json:
+            _write_run_export(
+                args.metrics_json, args, metrics_registry, tracer,
+                result=result,
+            )
     return 0
+
+
+def cmd_report(args):
+    from repro.report import (
+        compare,
+        has_regression,
+        render_compare,
+        render_report,
+    )
+
+    if args.compare:
+        old_path, new_path = args.compare
+        rows = compare(old_path, new_path, gate=args.gate)
+        print(render_compare(rows, gate=args.gate))
+        if not rows:
+            print("no shared metrics to compare")
+            return 2
+        return 1 if has_regression(rows) else 0
+    if args.metrics_json:
+        print(render_report(args.metrics_json, width=args.width))
+        return 0
+    print("report: pass --metrics-json FILE or --compare OLD NEW",
+          file=sys.stderr)
+    return 2
 
 
 def build_parser():
@@ -241,6 +335,34 @@ def build_parser():
         "--trace-json", metavar="PATH", default=None,
         help="write the recorded trace as JSON to PATH",
     )
+    run.add_argument(
+        "--metrics", action="store_true",
+        help="record time-series metrics and print the run report "
+             "(memory waterlines, predicted-vs-observed peaks)",
+    )
+    run.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="write a trace/v2 envelope with the metrics block to PATH",
+    )
+
+    report = sub.add_parser(
+        "report", help="render or diff recorded metrics exports"
+    )
+    report.add_argument(
+        "--metrics-json", metavar="FILE", default=None,
+        help="render the run report for a metrics/trace JSON export",
+    )
+    report.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+        help="diff two exports; exit 1 if any metric regressed past "
+             "the gate",
+    )
+    report.add_argument(
+        "--gate", type=float, default=1.15,
+        help="regression gate factor (default 1.15 = 15%% slack)",
+    )
+    report.add_argument("--width", type=int, default=60,
+                        help="waterline chart width in columns")
     return parser
 
 
@@ -252,6 +374,7 @@ def main(argv=None):
         "plan": cmd_plan,
         "estimate": cmd_estimate,
         "run": cmd_run,
+        "report": cmd_report,
     }
     return handlers[args.command](args)
 

@@ -79,12 +79,13 @@ class Vista:
         )
 
     # ------------------------------------------------------------------
-    def optimize(self, tracer=None):
+    def optimize(self, tracer=None, metrics=None):
         """Run Algorithm 1; returns the chosen :class:`VistaConfig`."""
         self._config = optimize(
             self.model_stats, self.layers, self.dataset_stats,
             self.resources, downstream=self.downstream_spec,
             defaults=self.defaults, backend=self.backend, tracer=tracer,
+            metrics=metrics,
         )
         return self._config
 
@@ -122,18 +123,23 @@ class Vista:
         )
 
     def run(self, plan=None, premat_layer=None, context=None,
-            feature_store=None, tracer=None):
+            feature_store=None, tracer=None, metrics=None):
         """Optimize, configure, and execute the workload end to end.
 
         ``feature_store`` (a :class:`~repro.features.store.FeatureStore`)
         lets ``premat_layer`` reuse base features materialized by an
         earlier session. ``tracer`` (a :class:`~repro.trace.Tracer`)
         records the optimizer decision and the full execution span tree
-        on ``WorkloadResult.trace``. Returns a
+        on ``WorkloadResult.trace``; ``metrics`` (a
+        :class:`~repro.metrics.MetricsRegistry`) records per-region
+        occupancy timelines and storage/task counters on
+        ``WorkloadResult.metrics_registry``. Returns a
         :class:`~repro.core.executor.WorkloadResult` with one trained
         downstream model per explored feature layer.
         """
-        config = self._config or self.optimize(tracer=tracer)
+        config = self._config or self.optimize(
+            tracer=tracer, metrics=metrics
+        )
         context = context or self.build_context(config)
         cnn = build_model(
             self.model_name, profile=self.model_profile, seed=self.model_seed
@@ -141,13 +147,13 @@ class Vista:
         executor = FeatureTransferExecutor(
             context, cnn, self.dataset, self.layers, config,
             downstream_fn=self.downstream_fn, feature_store=feature_store,
-            tracer=tracer,
+            tracer=tracer, metrics=metrics,
         )
         return executor.run(plan or self.plan, premat_layer=premat_layer)
 
     def run_resilient(self, plan=None, premat_layer=None, fault_plan=None,
                       seed=0, retry_policy=None, max_attempts=16,
-                      feature_store=None, tracer=None):
+                      feature_store=None, tracer=None, metrics=None):
         """Run under the :class:`~repro.core.resilient.ResilientRunner`
         supervisor: transient task failures are retried from lineage,
         lost workers are blacklisted, and Section 4.1 crashes are
@@ -155,14 +161,16 @@ class Vista:
         :class:`~repro.faults.FaultPlan`) injects deterministic faults
         for testing; the result's ``metrics["recovery_log"]`` records
         every recovery step taken. ``tracer`` records each attempt as
-        an ``attempt:<n>`` span with ``degrade`` events between rungs.
+        an ``attempt:<n>`` span with ``degrade`` events between rungs;
+        ``metrics`` additionally counts ``degrades_total`` per ladder
+        rung and accumulates occupancy series across attempts.
         """
         from repro.core.resilient import ResilientRunner
 
         runner = ResilientRunner(
             self, fault_plan=fault_plan, seed=seed,
             retry_policy=retry_policy, max_attempts=max_attempts,
-            tracer=tracer,
+            tracer=tracer, metrics=metrics,
         )
         return runner.run(
             plan=plan, premat_layer=premat_layer, feature_store=feature_store

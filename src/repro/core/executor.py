@@ -23,6 +23,8 @@ from repro.dataflow.executor import charge_model_replicas
 from repro.dataflow.joins import join as physical_join
 from repro.dataflow.table import DistributedTable
 from repro.features.pooling import pool_feature_tensor, pool_feature_tensor_batch
+from repro.memory.model import Region
+from repro.metrics import NULL_METRICS
 from repro.ml.logistic import LogisticRegression
 from repro.ml.metrics import f1_score
 from repro.tensor.tensorlist import TensorList
@@ -79,18 +81,32 @@ class WorkloadResult:
     ``trace`` is the root :class:`~repro.trace.Span` of the run's
     trace tree when the workload was traced (``to_dict``/``to_json``
     export it; :func:`repro.report.trace_ascii.render_trace` renders
-    it), or None for untraced runs.
+    it), or None for untraced runs. ``metrics_registry`` is the
+    :class:`~repro.metrics.MetricsRegistry` carrying the run's
+    time-series (occupancy waterlines, cache counters) when the
+    workload ran with metrics on — it sits next to ``trace`` the same
+    way, and None for un-metered runs. ``metrics`` remains the flat
+    summary dict (FLOPs, spills, peaks) every run produces.
     """
 
-    def __init__(self, plan, layer_results, metrics, trace=None):
+    def __init__(self, plan, layer_results, metrics, trace=None,
+                 metrics_registry=None):
         self.plan = plan
         self.layer_results = layer_results  # layer name -> LayerResult
         self.metrics = metrics
         self.trace = trace
+        self.metrics_registry = metrics_registry
 
     def trace_dict(self):
         """JSON-safe dict of the trace tree (None when untraced)."""
         return self.trace.to_dict() if self.trace is not None else None
+
+    def metrics_dict(self):
+        """JSON-safe export of the time-series registry (None when the
+        run was not metered)."""
+        if self.metrics_registry is None:
+            return None
+        return self.metrics_registry.export()
 
     def __repr__(self):
         return (
@@ -126,7 +142,8 @@ class FeatureTransferExecutor:
 
     def __init__(self, context, cnn, dataset, layers, config,
                  downstream_fn=None, model_mem_bytes=None, pool_grid=2,
-                 user_alpha=2.0, feature_store=None, tracer=None):
+                 user_alpha=2.0, feature_store=None, tracer=None,
+                 metrics=None):
         self.context = context
         self.cnn = cnn
         self.dataset = dataset
@@ -146,6 +163,9 @@ class FeatureTransferExecutor:
         if tracer is not None:
             context.attach_tracer(tracer)
         self.tracer = getattr(context, "tracer", NULL_TRACER)
+        if metrics is not None:
+            context.attach_metrics(metrics)
+        self.metrics_registry = getattr(context, "metrics", NULL_METRICS)
         np_ = config.num_partitions
         with self.tracer.span("read") as sp:
             self.tstr = DistributedTable.from_rows(
@@ -205,8 +225,12 @@ class FeatureTransferExecutor:
             self.cnn.op_timer = previous_timer
         self._finalize_metrics()
         trace = self.tracer.root if self.tracer.enabled else None
+        registry = (
+            self.metrics_registry if self.metrics_registry.enabled else None
+        )
         return WorkloadResult(
-            plan.label, layer_results, dict(self.metrics), trace=trace
+            plan.label, layer_results, dict(self.metrics), trace=trace,
+            metrics_registry=registry,
         )
 
     def _sizing_comparison(self):
@@ -550,6 +574,27 @@ class FeatureTransferExecutor:
 
     def _finalize_metrics(self):
         context = self.context
+        region_peaks = {
+            region.value: max(
+                (w.accountant.peak(region) for w in context.workers),
+                default=0,
+            )
+            for region in Region
+        }
+        # The storage region is managed by the StorageManager, not the
+        # accountant, so its observed peak comes from there.
+        region_peaks["storage"] = max(
+            (w.storage.peak_bytes for w in context.workers), default=0
+        )
+        region_peaks["driver"] = context.driver.peak(Region.DRIVER)
+        region_budgets = {
+            region.value: (
+                context.workers[0].accountant.capacity(region)
+                if context.workers else 0
+            )
+            for region in Region
+        }
+        region_budgets["driver"] = context.driver.capacity(Region.DRIVER)
         self.metrics.update(
             {
                 "shuffle_bytes": getattr(context, "shuffle_bytes_total", 0),
@@ -560,6 +605,8 @@ class FeatureTransferExecutor:
                     (w.storage.peak_bytes for w in context.workers),
                     default=0,
                 ),
+                "region_peak_bytes": region_peaks,
+                "region_budget_bytes": region_budgets,
             }
         )
         recovery = getattr(context, "recovery_log", None)

@@ -35,6 +35,7 @@ from repro.core.sizing import estimate_sizes
 from repro.dataflow.joins import BROADCAST, SHUFFLE
 from repro.dataflow.partition import DESERIALIZED, SERIALIZED
 from repro.exceptions import NoFeasiblePlan
+from repro.metrics import NULL_METRICS
 from repro.trace import NULL_TRACER
 
 
@@ -90,7 +91,7 @@ def num_partitions_for(s_single, cpu, num_nodes, max_partition_bytes):
 
 def optimize(model_stats, layers, dataset_stats, resources,
              downstream=None, defaults=None, backend="spark",
-             tracer=None):
+             tracer=None, metrics=None):
     """Run Algorithm 1 and return a :class:`VistaConfig`.
 
     Raises :class:`NoFeasiblePlan` when System Memory cannot satisfy
@@ -108,8 +109,15 @@ def optimize(model_stats, layers, dataset_stats, resources,
     many ``cpu`` candidates were rejected, and the Eq. 16 size
     estimates the decision rested on — so traces can be checked against
     what the executor actually measured.
+
+    With a ``metrics`` registry, the chosen configuration's per-region
+    requirements (Eqs. 10-11 and the storage working set) are published
+    as ``predicted_peak_bytes`` gauges, so a metrics-enabled run
+    records the optimizer's prediction next to the observed occupancy
+    peaks and estimate error becomes a first-class metric.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = metrics if metrics is not None else NULL_METRICS
     downstream = downstream or DownstreamSpec()
     defaults = defaults or SystemDefaults()
     sizing = estimate_sizes(
@@ -186,6 +194,10 @@ def optimize(model_stats, layers, dataset_stats, resources,
                     "mem_user_bytes": int(mem_user),
                     "mem_dl_bytes": config.mem_dl_bytes,
                 })
+                _record_predictions(
+                    metrics, config, sizing, resources, defaults,
+                    model_stats,
+                )
                 return config
             span.add("candidates_rejected")
         raise NoFeasiblePlan(
@@ -193,6 +205,31 @@ def optimize(model_stats, layers, dataset_stats, resources,
             f"constraints for {model_stats.name} on "
             f"{resources.system_memory_bytes} B nodes; "
             "provision machines with more memory"
+        )
+
+
+def _record_predictions(metrics, config, sizing, resources, defaults,
+                        model_stats):
+    """Publish the optimizer's per-worker peak predictions: Eq. 10
+    (User), Eq. 11 (DL), and the Staged plan's two-consecutive-
+    intermediates storage working set, so reports can score predicted
+    vs observed occupancy."""
+    if not metrics.enabled:
+        return
+    from repro.core.sizing import static_storage_need
+
+    storage_need = static_storage_need(
+        sizing.s_double, config.persistence,
+        model_stats.serialized_ratio, alpha=defaults.alpha,
+    )
+    predictions = {
+        "user": config.mem_user_bytes,
+        "dl": config.mem_dl_bytes,
+        "storage": storage_need // max(1, resources.num_nodes),
+    }
+    for region, nbytes in predictions.items():
+        metrics.gauge("predicted_peak_bytes", region=region).set(
+            int(nbytes)
         )
 
 

@@ -39,6 +39,7 @@ from repro.dataflow.joins import BROADCAST, SHUFFLE
 from repro.dataflow.partition import DESERIALIZED, SERIALIZED
 from repro.exceptions import NoFeasiblePlan, WorkloadCrash
 from repro.faults.retry import RecoveryLog, RetryPolicy
+from repro.metrics import NULL_METRICS
 from repro.trace import NULL_TRACER
 
 
@@ -109,7 +110,7 @@ class ResilientRunner:
 
     def __init__(self, vista, fault_plan=None, seed=0, injector=None,
                  retry_policy=None, max_attempts=16, recovery_log=None,
-                 tracer=None):
+                 tracer=None, metrics=None):
         if injector is None and fault_plan is not None:
             from repro.faults import FaultInjector
 
@@ -122,6 +123,7 @@ class ResilientRunner:
             recovery_log if recovery_log is not None else RecoveryLog()
         )
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     # ------------------------------------------------------------------
     def run(self, plan=None, premat_layer=None, feature_store=None):
@@ -139,13 +141,18 @@ class ResilientRunner:
         vista = self.vista
         recovery = self.recovery_log
         tracer = self.tracer
+        metrics = self.metrics
         if self.injector is not None and self.injector.recovery_log is None:
             self.injector.recovery_log = recovery
         if (self.injector is not None and tracer.enabled
                 and tracer.clock is None):
             tracer.clock = self.injector.clock
+        if (self.injector is not None and metrics.enabled
+                and metrics.clock is None):
+            metrics.clock = self.injector.clock
         config = vista._config or vista.optimize(
-            tracer=tracer if tracer.enabled else None
+            tracer=tracer if tracer.enabled else None,
+            metrics=metrics if metrics.enabled else None,
         )
         plan = plan or vista.plan
         cnn = build_model(
@@ -165,6 +172,7 @@ class ResilientRunner:
                 downstream_fn=vista.downstream_fn,
                 feature_store=feature_store,
                 tracer=tracer if tracer.enabled else None,
+                metrics=metrics if metrics.enabled else None,
             )
             try:
                 with tracer.span(f"attempt:{attempt}", plan=plan.label,
@@ -190,6 +198,11 @@ class ResilientRunner:
                     plan=plan.label, cpu=config.cpu, join=config.join,
                     persistence=config.persistence,
                 )
+                metrics.counter(
+                    "degrades_total",
+                    step=step.split(":", 1)[0],
+                    crash=type(crash).__name__,
+                ).inc()
                 continue
             result.metrics["recovery_log"] = [dict(e) for e in recovery]
             result.metrics["recovery_attempts"] = attempt

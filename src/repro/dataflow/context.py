@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.memory.model import GB, MemoryAccountant
 from repro.dataflow.storage import StorageManager
+from repro.metrics import NULL_METRICS
 from repro.trace import NULL_TRACER
 
 
@@ -62,6 +63,10 @@ class ClusterContext:
         #: Structured tracer shared by every layer running on this
         #: context; NULL_TRACER (no-op) unless attach_tracer is called.
         self.tracer = NULL_TRACER
+        #: Time-series metrics registry shared by every layer running
+        #: on this context; NULL_METRICS unless attach_metrics is
+        #: called.
+        self.metrics = NULL_METRICS
 
     def attach_tracer(self, tracer):
         """Share a :class:`~repro.trace.Tracer` with the dataflow
@@ -74,6 +79,27 @@ class ClusterContext:
         if injector is not None and tracer.enabled and tracer.clock is None:
             tracer.clock = injector.clock
         return tracer
+
+    def attach_metrics(self, metrics):
+        """Share a :class:`~repro.metrics.MetricsRegistry` with every
+        worker's memory accountant and storage manager, the driver's
+        accountant, and (via the shared simulated clock) the
+        fault/recovery layer — after which the context records
+        per-region occupancy timelines, storage hit/miss/spill series,
+        and task/wave occupancy."""
+        self.metrics = metrics
+        for worker in self.workers:
+            worker.accountant.attach_metrics(
+                metrics, owner=f"w{worker.node_id}"
+            )
+            worker.storage.attach_metrics(
+                metrics, owner=f"w{worker.node_id}"
+            )
+        self.driver.attach_metrics(metrics, owner="driver")
+        injector = getattr(self, "fault_injector", None)
+        if injector is not None and metrics.enabled and metrics.clock is None:
+            metrics.clock = injector.clock
+        return metrics
 
     def worker_for(self, partition_index):
         if not self.excluded_workers:
@@ -92,7 +118,12 @@ class ClusterContext:
     def blacklist_worker(self, node_id):
         """Exclude a worker from task placement (worker loss or
         repeated task failures)."""
-        self.excluded_workers.add(int(node_id))
+        node_id = int(node_id)
+        if node_id not in self.excluded_workers:
+            self.metrics.counter(
+                "blacklists_total", worker=f"w{node_id}"
+            ).inc()
+        self.excluded_workers.add(node_id)
 
     def live_workers(self):
         return [
@@ -120,6 +151,8 @@ class ClusterContext:
             worker.storage.spilled_bytes_total = 0
             worker.storage.spill_read_bytes_total = 0
             worker.storage.eviction_count = 0
+            worker.storage.hit_count = 0
+            worker.storage.miss_count = 0
             worker.tasks_run = 0
             worker.task_failures = 0
             worker.accountant.reset_peaks()

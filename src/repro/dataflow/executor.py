@@ -44,6 +44,7 @@ from repro.exceptions import TaskFailure, WorkerLost, WorkloadCrash
 from repro.faults.clock import SimulatedClock
 from repro.faults.retry import RetryPolicy
 from repro.memory.model import Region
+from repro.metrics import NULL_METRICS
 from repro.trace import NULL_TRACER
 
 _DEFAULT_POLICY = RetryPolicy()
@@ -106,9 +107,16 @@ def _run_worker_share(context, worker, items, task_fn, region, charge_fn,
                       recovery, clock):
     """Run one worker's partitions in waves of ``context.cpu``."""
     tracer = getattr(context, "tracer", NULL_TRACER)
+    metrics = getattr(context, "metrics", NULL_METRICS)
+    occupancy = metrics.gauge("wave_tasks", worker=f"w{worker.node_id}")
     for start in range(0, len(items), context.cpu):
         wave = items[start:start + context.cpu]
         tracer.add("waves")
+        metrics.counter("waves_total", worker=f"w{worker.node_id}").inc()
+        metrics.histogram("wave_size", worker=f"w{worker.node_id}").observe(
+            len(wave)
+        )
+        occupancy.set(len(wave))
         try:
             if injector is not None:
                 injector.on_wave_start(worker.node_id, what=what)
@@ -129,6 +137,8 @@ def _run_worker_share(context, worker, items, task_fn, region, charge_fn,
                 pair for pair in items[start:] if pair[0] not in scheduled
             )
             return
+        finally:
+            occupancy.set(0)
         for position, result in wave_results:
             results[position] = result
         if worker.node_id in context.excluded_workers:
@@ -151,6 +161,9 @@ def _run_wave(context, worker, wave, task_fn, region, charge_fn, what,
     charged = 0
     wave_results = []
     tracer = getattr(context, "tracer", NULL_TRACER)
+    metrics = getattr(context, "metrics", NULL_METRICS)
+    # resolved once per wave: the per-task loop below is the hot path
+    tasks_counter = metrics.counter("tasks_total", worker=f"w{worker.node_id}")
     try:
         for position, partition in wave:
             attempt = attempts[partition.index] = attempts[partition.index] + 1
@@ -163,6 +176,7 @@ def _run_wave(context, worker, wave, task_fn, region, charge_fn, what,
                 result = task_fn(partition)
                 worker.tasks_run += 1
                 tracer.add("tasks")
+                tasks_counter.inc()
                 if charge_fn is not None:
                     nbytes = charge_fn(partition, result)
                     # count before charging: charge() increments used
@@ -195,6 +209,10 @@ def _handle_task_failure(context, worker, position, partition, attempt, exc,
         backoff = policy.backoff_s(attempt)
         clock.advance(backoff)
         getattr(context, "tracer", NULL_TRACER).add("task_retries")
+        getattr(context, "metrics", NULL_METRICS).counter(
+            "task_retries_total", worker=f"w{worker.node_id}",
+            fault=type(exc).__name__,
+        ).inc()
         _record(recovery, clock, "task_retry", table=what,
                 partition=partition.index, worker=worker.node_id,
                 attempt=attempt, fault=type(exc).__name__,

@@ -24,6 +24,7 @@ from repro.dataflow.partition import Partition
 from repro.dataflow.record import estimate_rows_bytes
 from repro.dataflow.executor import run_partition_tasks
 from repro.memory.model import Region
+from repro.metrics import NULL_METRICS
 from repro.trace import NULL_TRACER
 
 SHUFFLE = "shuffle"
@@ -76,10 +77,15 @@ def shuffle_hash_join(left, right, num_partitions=None, name=None,
                     joined.append(_merge(row, match))
             return joined
 
+        build_size_hist = getattr(
+            left.context, "metrics", NULL_METRICS
+        ).histogram("join_build_bytes", strategy=SHUFFLE)
+
         def charge(probe_partition, joined):
             build_bytes = estimate_rows_bytes(
                 build_rows.get(probe_partition.index, [])
             )
+            build_size_hist.observe(build_bytes)
             return int(core_alpha * build_bytes)
 
         outputs = run_partition_tasks(
@@ -117,6 +123,11 @@ def broadcast_join(small, big, name=None):
         small_bytes = estimate_rows_bytes(small_rows)
         lookup = {row[small.key]: row for row in small_rows}
         sp.add("broadcast_bytes", small_bytes)
+        metrics = getattr(context, "metrics", NULL_METRICS)
+        metrics.counter("broadcast_bytes_total").inc(small_bytes)
+        metrics.histogram(
+            "join_build_bytes", strategy=BROADCAST
+        ).observe(small_bytes)
 
         # A full copy of the broadcast table lives in every worker's
         # User Memory for the duration of the join.

@@ -12,6 +12,7 @@ from repro.dataflow.partition import DESERIALIZED, Partition
 from repro.dataflow.record import estimate_record_bytes, estimate_rows_bytes
 from repro.dataflow.executor import run_partition_tasks
 from repro.memory.model import Region
+from repro.metrics import NULL_METRICS
 from repro.trace import NULL_TRACER
 
 
@@ -213,3 +214,6 @@ def _meter_shuffle(context, nbytes):
     context.shuffle_bytes_total = getattr(
         context, "shuffle_bytes_total", 0
     ) + int(nbytes)
+    getattr(context, "metrics", NULL_METRICS).counter(
+        "shuffle_bytes_total"
+    ).inc(int(nbytes))

@@ -15,6 +15,13 @@ The :class:`MemoryAccountant` charges bytes against regions at run
 time, tracks per-region peaks, and raises the matching Section 4.1
 crash exception the instant a region overflows — this is what turns
 the paper's "X" crash cells into testable behaviour.
+
+With a metrics registry attached (``attach_metrics``), every charge
+and release also lands on a ``mem_used_bytes`` gauge per region, so
+metrics-enabled runs record the full occupancy *timeline* — including
+the over-budget sample of the charge that crashed, which is what lets
+:mod:`repro.report.run_report` attribute a crash to its Section 4.1
+scenario from the waterline alone.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from repro.exceptions import (
     ExecutionMemoryExceeded,
     UserMemoryExceeded,
 )
+from repro.metrics import NULL_METRICS
 
 GB = 1024 ** 3
 MB = 1024 ** 2
@@ -102,6 +110,9 @@ class MemoryAccountant:
 
     def __init__(self, budget):
         self.budget = budget
+        self.metrics = NULL_METRICS
+        self.owner = None
+        self._gauges = None
         self._regions = {
             Region.USER: _RegionState(budget.user_bytes),
             Region.CORE: _RegionState(budget.core_bytes),
@@ -110,13 +121,46 @@ class MemoryAccountant:
             Region.DRIVER: _RegionState(budget.driver_bytes),
         }
 
+    def attach_metrics(self, metrics, owner):
+        """Emit per-region occupancy timelines on ``metrics``.
+
+        ``owner`` labels the series (``w0``..``wN`` for workers,
+        ``driver`` for the driver accountant). Region capacities —
+        the budgets Algorithm 1 chose — are published once as
+        ``mem_capacity_bytes`` gauges so reports can draw the budget
+        line next to the occupancy waterline.
+        """
+        self.metrics = metrics
+        self.owner = str(owner)
+        self._gauges = {}
+        for region, state in self._regions.items():
+            metrics.gauge(
+                "mem_capacity_bytes", worker=self.owner,
+                region=region.value,
+            ).set(state.capacity)
+            gauge = metrics.gauge(
+                "mem_used_bytes", worker=self.owner, region=region.value
+            )
+            gauge.set(state.used)
+            self._gauges[region] = gauge
+        return self
+
     def charge(self, region, nbytes, what=""):
         state = self._regions[region]
         state.used += int(nbytes)
         if state.used > state.peak:
             state.peak = state.used
+        if self._gauges is not None:
+            # Sampled before the overflow check so a crashing charge's
+            # over-budget level is the series' last point.
+            self._gauges[region].set(state.used)
         if state.used > state.capacity and region in _CRASHES:
-            raise _CRASHES[region](
+            crash = _CRASHES[region]
+            self.metrics.counter(
+                "crash_total", worker=self.owner or "?",
+                region=region.value, exception=crash.__name__,
+            ).inc()
+            raise crash(
                 f"{region.value} memory exhausted: used "
                 f"{state.used / GB:.2f} GB of {state.capacity / GB:.2f} GB"
                 + (f" while {what}" if what else "")
@@ -125,12 +169,25 @@ class MemoryAccountant:
     def release(self, region, nbytes):
         state = self._regions[region]
         state.used = max(0, state.used - int(nbytes))
+        if self._gauges is not None:
+            self._gauges[region].set(state.used)
 
     def used(self, region):
         return self._regions[region].used
 
     def peak(self, region):
         return self._regions[region].peak
+
+    def capacity(self, region):
+        return self._regions[region].capacity
+
+    def headroom_ratio(self, region):
+        """Peak occupancy over budget: <1 means the region held, >1
+        means the budget was (or would have been) breached."""
+        state = self._regions[region]
+        if state.capacity <= 0:
+            return float("inf") if state.peak else 0.0
+        return state.peak / state.capacity
 
     def available(self, region):
         state = self._regions[region]

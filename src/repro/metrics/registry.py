@@ -1,0 +1,402 @@
+"""Time-series metrics for Vista runs.
+
+Where the tracer (:mod:`repro.trace`) answers "where did the time go"
+with span *durations*, this registry answers "what was the state over
+time": per-worker memory occupancy, cache residency, task occupancy —
+the Figure 4A quantities that decide whether a run crashes, spills, or
+sails. A :class:`MetricsRegistry` holds three instrument kinds:
+
+- :class:`Counter` — monotonically increasing totals (tasks run, bytes
+  spilled, retries). Each increment appends a ``(sim_time, tick,
+  running_total)`` sample, so counters export as cumulative series.
+- :class:`Gauge` — a level that moves both ways (region occupancy,
+  wave task occupancy). Each ``set`` appends a sample; ``peak`` and
+  ``low`` watermarks are tracked exactly even if old samples are
+  compacted away.
+- :class:`Histogram` — value distributions (join build-side sizes, LRU
+  residency ages) as bucket counts plus count/sum/min/max.
+
+Two timestamps per sample, deliberately: ``sim_time`` comes from the
+shared :class:`~repro.faults.clock.SimulatedClock` (deterministic, but
+static in fault-free runs), and ``tick`` is a registry-global sequence
+number that orders *every* sample across all instruments. Waterline
+renderings use ticks as their logical time axis, so timelines are
+deterministic and meaningful even when the simulated clock never
+advances.
+
+The module-level :data:`NULL_METRICS` mirrors ``NULL_TRACER``: every
+instrument lookup returns one shared no-op instrument, so
+un-instrumented runs pay only an attribute lookup per sample point.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Version tag of the exported metrics block.
+METRICS_SCHEMA = "metrics/v1"
+
+#: Default sample cap per series; beyond it the series is compacted
+#: pairwise (gauges keep each pair's extremum, counters the later
+#: total), halving resolution while preserving the waterline shape.
+MAX_SAMPLES = 4096
+
+
+def _label_key(labels):
+    return tuple(sorted(labels.items()))
+
+
+class _Instrument:
+    """Shared state of one named, labelled metric series."""
+
+    kind = "instrument"
+
+    def __init__(self, registry, name, labels):
+        self.registry = registry
+        self.name = name
+        self.labels = dict(labels)
+        self.samples = []  # [sim_time, tick, value]
+
+    def _append(self, value):
+        registry = self.registry
+        self.samples.append([registry._now(), registry._next_tick(), value])
+        if len(self.samples) > registry.max_samples:
+            self._compact()
+
+    def _compact(self):
+        pairs = zip(self.samples[::2], self.samples[1::2])
+        compacted = [self._pick(a, b) for a, b in pairs]
+        if len(self.samples) % 2:
+            # an odd tail (always the just-appended sample) survives
+            compacted.append(self.samples[-1])
+        self.samples = compacted
+
+    def _pick(self, first, second):
+        return second
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "samples": [list(sample) for sample in self.samples],
+        }
+
+    def __repr__(self):
+        return (
+            f"<{type(self).__name__} {self.name}{self.labels}: "
+            f"{len(self.samples)} samples>"
+        )
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total, exported as a cumulative
+    series."""
+
+    kind = "counter"
+
+    def __init__(self, registry, name, labels):
+        super().__init__(registry, name, labels)
+        self.total = 0
+
+    def inc(self, value=1):
+        self.total += value
+        self._append(self.total)
+        return self.total
+
+    def to_dict(self):
+        payload = super().to_dict()
+        payload["total"] = self.total
+        return payload
+
+
+class Gauge(_Instrument):
+    """A level that moves both ways, with exact high/low watermarks."""
+
+    kind = "gauge"
+
+    def __init__(self, registry, name, labels):
+        super().__init__(registry, name, labels)
+        self.value = 0
+        self.peak = None
+        self.low = None
+
+    def set(self, value):
+        self.value = value
+        if self.peak is None or value > self.peak:
+            self.peak = value
+        if self.low is None or value < self.low:
+            self.low = value
+        self._append(value)
+        return value
+
+    def add(self, delta):
+        return self.set(self.value + delta)
+
+    def _pick(self, first, second):
+        # Keep the extremum so compaction never flattens a waterline
+        # crest; ties keep the later sample (current level survives).
+        return first if abs(first[2]) > abs(second[2]) else second
+
+    def to_dict(self):
+        payload = super().to_dict()
+        payload.update({
+            "last": self.value,
+            "peak": self.peak,
+            "low": self.low,
+        })
+        return payload
+
+
+#: Default histogram bucket boundaries: powers of 4 cover bytes and
+#: seconds alike across the mini-to-paper scale range.
+DEFAULT_BUCKETS = tuple(4 ** exp for exp in range(16))
+
+
+class Histogram(_Instrument):
+    """A value distribution as cumulative-style bucket counts."""
+
+    kind = "histogram"
+
+    def __init__(self, registry, name, labels, buckets=None):
+        super().__init__(registry, name, labels)
+        self.buckets = tuple(sorted(buckets or DEFAULT_BUCKETS))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[position] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        self._append(value)
+        return value
+
+    def to_dict(self):
+        payload = super().to_dict()
+        payload.update({
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": [
+                [bound, count]
+                for bound, count in zip(self.buckets, self.bucket_counts)
+            ] + [["inf", self.bucket_counts[-1]]],
+        })
+        return payload
+
+
+class MetricsRegistry:
+    """Collects time-series instruments for one (or several) runs.
+
+    Parameters
+    ----------
+    clock:
+        Optional shared :class:`~repro.faults.clock.SimulatedClock`;
+        with a fault injector attached the cluster context shares its
+        clock here, so samples carry deterministic simulated
+        timestamps. Without one, sim timestamps stay 0 and the
+        registry-global tick orders samples.
+    base_labels:
+        Labels merged into every instrument created through this
+        registry (benchmarks use it to tag series per scenario).
+    """
+
+    enabled = True
+
+    def __init__(self, clock=None, base_labels=None,
+                 max_samples=MAX_SAMPLES):
+        self.clock = clock
+        self.base_labels = dict(base_labels) if base_labels else {}
+        self.max_samples = int(max_samples)
+        self._instruments = {}
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+    def _now(self):
+        return self.clock.now if self.clock is not None else 0.0
+
+    def _next_tick(self):
+        self._tick += 1
+        return self._tick
+
+    def _get(self, cls, name, labels, **extra):
+        labels = {**self.base_labels, **labels}
+        key = (cls.kind, name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = cls(
+                self, name, labels, **extra
+            )
+        return instrument
+
+    def counter(self, name, **labels):
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name, **labels):
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name, buckets=None, **labels):
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    def instruments(self, name=None, **labels):
+        """All instruments, optionally filtered by name and a label
+        subset."""
+        matches = []
+        for instrument in self._instruments.values():
+            if name is not None and instrument.name != name:
+                continue
+            if any(instrument.labels.get(k) != v for k, v in labels.items()):
+                continue
+            matches.append(instrument)
+        return matches
+
+    def export(self):
+        """JSON-safe dict of every series, ready for the ``metrics``
+        block of a ``trace/v2`` envelope."""
+        return {
+            "schema": METRICS_SCHEMA,
+            "ticks": self._tick,
+            "series": [
+                instrument.to_dict()
+                for instrument in self._instruments.values()
+            ],
+        }
+
+    def to_json(self, indent=2):
+        return json.dumps(self.export(), indent=indent, sort_keys=True,
+                          default=str)
+
+    def __repr__(self):
+        return (
+            f"<MetricsRegistry {len(self._instruments)} series, "
+            f"tick={self._tick}>"
+        )
+
+
+def merge_exports(*exports):
+    """Concatenate several registry exports into one ``metrics`` block
+    (benchmarks export one registry per scenario, tagged via
+    ``base_labels``, and commit the merged block)."""
+    merged = {"schema": METRICS_SCHEMA, "ticks": 0, "series": []}
+    for export in exports:
+        if not export:
+            continue
+        merged["ticks"] = max(merged["ticks"], export.get("ticks", 0))
+        merged["series"].extend(export.get("series", ()))
+    return merged
+
+
+def find_series(source, name, **labels):
+    """Series dicts matching ``name`` and a label subset.
+
+    ``source`` is a registry, a registry export, or a full
+    ``trace/v2`` envelope (its ``metrics`` block is searched).
+    """
+    if hasattr(source, "export"):
+        source = source.export()
+    if source is None:
+        return []
+    if "series" not in source and "metrics" in source:
+        source = source["metrics"] or {}
+    matches = []
+    for series in source.get("series", ()):
+        if series.get("name") != name:
+            continue
+        series_labels = series.get("labels", {})
+        if any(series_labels.get(k) != v for k, v in labels.items()):
+            continue
+        matches.append(series)
+    return matches
+
+
+def series_peak(series):
+    """Highest value a series dict reached (gauges report their exact
+    ``peak`` watermark; counters their total; histograms their max)."""
+    if series is None:
+        return None
+    for key in ("peak", "total", "max"):
+        if series.get(key) is not None:
+            return series[key]
+    samples = series.get("samples") or ()
+    return max((sample[2] for sample in samples), default=None)
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument kind."""
+
+    __slots__ = ()
+    name = "null"
+    labels = {}
+    samples = ()
+    total = 0
+    value = 0
+    peak = None
+    low = None
+    count = 0
+
+    def inc(self, value=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def add(self, delta):
+        pass
+
+    def observe(self, value):
+        pass
+
+    def to_dict(self):
+        return {}
+
+    def __repr__(self):
+        return "<NullInstrument>"
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Disabled registry: every instrument is a shared no-op.
+    Instrumented code can test ``metrics.enabled`` before computing
+    anything expensive for a sample."""
+
+    enabled = False
+    clock = None
+    base_labels = {}
+
+    def counter(self, name, **labels):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, **labels):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, buckets=None, **labels):
+        return _NULL_INSTRUMENT
+
+    def instruments(self, name=None, **labels):
+        return []
+
+    def export(self):
+        return None
+
+    def __repr__(self):
+        return "<NullMetrics>"
+
+
+#: The process-wide disabled registry every layer defaults to.
+NULL_METRICS = NullMetrics()

@@ -1,7 +1,37 @@
 """Plain-text reporting: ASCII bar and line charts for the benchmark
-suite's figure reproductions, plus the flame-style trace renderer."""
+suite's figure reproductions, the flame-style trace renderer, and the
+metrics-driven run report (waterlines, crash attribution, regression
+gates)."""
 
 from repro.report.ascii import bar_chart, line_chart
+from repro.report.run_report import (
+    SCENARIOS,
+    attribute_crash,
+    compare,
+    has_regression,
+    metrics_block,
+    predicted_vs_observed,
+    render_compare,
+    render_crash_report,
+    render_report,
+    render_waterline,
+    render_waterlines,
+)
 from repro.report.trace_ascii import render_trace
 
-__all__ = ["bar_chart", "line_chart", "render_trace"]
+__all__ = [
+    "SCENARIOS",
+    "attribute_crash",
+    "bar_chart",
+    "compare",
+    "has_regression",
+    "line_chart",
+    "metrics_block",
+    "predicted_vs_observed",
+    "render_compare",
+    "render_crash_report",
+    "render_report",
+    "render_trace",
+    "render_waterline",
+    "render_waterlines",
+]

@@ -100,3 +100,85 @@ def test_clear():
     storage.clear()
     assert storage.used_bytes == 0
     assert storage.get("a") is None
+
+
+def test_recache_after_eviction_supersedes_spilled_copy():
+    """Regression: re-admitting a key that was LRU-evicted must drop
+    the stale spilled copy, or the key is double-tracked and a later
+    eviction double-counts its bytes."""
+    storage = StorageManager(2_500)
+    storage.cache("a", _partition(0, 1000))
+    storage.cache("b", _partition(1, 1000))
+    storage.cache("c", _partition(2, 1000))  # evicts a to disk
+    assert "a" in storage.spilled_keys()
+    storage.cache("a", _partition(0, 1000))  # re-admit (evicts b)
+    assert "a" in storage.cached_keys()
+    assert "a" not in storage.spilled_keys()
+    unit = _partition(9, 1000).memory_bytes("deserialized")
+    used = storage.used_bytes
+    storage.evict("a")
+    assert storage.used_bytes == used - unit
+    assert storage.get("a") is None  # gone from memory AND disk
+
+
+def test_metrics_count_hits_misses_and_evictions_exactly():
+    from repro.metrics import MetricsRegistry, find_series
+
+    registry = MetricsRegistry()
+    storage = StorageManager(2_500).attach_metrics(registry, "w0")
+    storage.cache("a", _partition(0, 1000))
+    storage.cache("b", _partition(1, 1000))
+    storage.get("a")                          # hit; a most recent
+    storage.cache("c", _partition(2, 1000))   # evicts b (LRU)
+    storage.get("b")                          # hit, via spill read
+    storage.get("nope")                       # miss
+    assert storage.hit_count == 2
+    assert storage.miss_count == 1
+
+    def total(name):
+        (series,) = find_series(registry, name, worker="w0")
+        return series["total"]
+
+    assert total("storage_hits_total") == storage.hit_count
+    assert total("storage_misses_total") == storage.miss_count
+    assert total("storage_evictions_total") == storage.eviction_count
+    assert total("storage_spill_bytes_total") == storage.spilled_bytes_total
+    assert (
+        total("storage_spill_read_bytes_total")
+        == storage.spill_read_bytes_total
+    )
+
+
+def test_metrics_occupancy_timeline_and_residency_ages():
+    from repro.metrics import MetricsRegistry, find_series, series_peak
+
+    registry = MetricsRegistry()
+    storage = StorageManager(2_500).attach_metrics(registry, "w0")
+    storage.cache("a", _partition(0, 1000))
+    storage.cache("b", _partition(1, 1000))
+    storage.cache("c", _partition(2, 1000))  # evicts a
+    (occupancy,) = find_series(registry, "storage_cached_bytes",
+                               worker="w0")
+    assert series_peak(occupancy) == storage.peak_bytes
+    assert occupancy["last"] == storage.used_bytes
+    (residency,) = find_series(registry, "storage_residency_age_ticks",
+                               worker="w0")
+    assert residency["count"] == 1  # one LRU eviction so far
+    assert residency["min"] > 0
+
+
+def test_metrics_memory_only_crash_is_counted():
+    from repro.metrics import MetricsRegistry, find_series
+
+    registry = MetricsRegistry()
+    storage = StorageManager(2_000, spill_enabled=False).attach_metrics(
+        registry, "w0"
+    )
+    storage.cache("a", _partition(0, 1500))
+    with pytest.raises(StorageMemoryExceeded):
+        storage.cache("b", _partition(1, 1500))
+    (crashes,) = find_series(
+        registry, "crash_total", worker="w0", region="storage"
+    )
+    assert crashes["total"] == 1
+    assert crashes["labels"]["exception"] == "StorageMemoryExceeded"
