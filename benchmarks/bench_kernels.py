@@ -107,7 +107,9 @@ def bench_tracer_overhead(profile, batch_size, repeats):
     )
     model.forward_batch(batch)  # warm caches
     tracer = Tracer(name="overhead")
-    trials = max(9, repeats)
+    # Enough trials for the min to find a preemption-free sample per
+    # side even on a machine with background load.
+    trials = max(13, repeats)
     inner = 3  # amortize each sample over several batch inferences
     untraced = traced = float("inf")
     try:
@@ -118,7 +120,7 @@ def bench_tracer_overhead(profile, batch_size, repeats):
                 model.forward_batch(batch)
             untraced = min(untraced, time.process_time() - start)
 
-            model.op_timer = tracer.time_op
+            model.op_timer = tracer.record_op
             with tracer.span("traced_batch"):
                 start = time.process_time()
                 for _ in range(inner):
@@ -139,7 +141,10 @@ def bench_metrics_overhead(trials=14):
     A paired design: each trial times one plain and one instrumented
     run back to back (alternating which goes first, so warm-up and
     drift bias neither side) and contributes one instrumented/plain
-    ratio; the reported overhead is the *median* ratio. The runs are
+    ratio; the reported overhead is the *median* ratio. Pairing keeps
+    the estimate honest under slow background-load drift (both sides
+    of a ratio see the same machine state), and the median discards
+    the preemption spikes that hit one side of a pair. The runs are
     timed with ``time.process_time`` (CPU time) rather than the wall
     clock: the workload is pure CPU, so CPU time measures exactly the
     cost the registry adds while staying immune to the scheduler
@@ -148,7 +153,6 @@ def bench_metrics_overhead(trials=14):
     the committed envelope carries a real metrics block.
     """
     import statistics
-
     from repro import MetricsRegistry, Vista, default_resources
     from repro.data import foods_dataset
 
@@ -223,7 +227,7 @@ def main(argv=None):
         })
     overhead = bench_tracer_overhead(args.profile, args.batch, repeats)
     metrics_overhead, metrics_registry = bench_metrics_overhead(
-        trials=16 if args.quick else 30
+        trials=24 if args.quick else 48
     )
 
     print_table(

@@ -26,6 +26,8 @@ from repro.core import (
     optimize,
 )
 from repro.cnn import build_model, get_model_stats
+# repro.core must be imported first: repro.explain imports from it.
+from repro.explain import ExplainResult, WhatIfReport, explain, what_if
 from repro.exceptions import (
     NoFeasiblePlan,
     VistaError,
@@ -39,6 +41,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DatasetStats",
+    "ExplainResult",
     "FaultInjector",
     "FaultPlan",
     "MetricsRegistry",
@@ -51,10 +54,13 @@ __all__ = [
     "Vista",
     "VistaConfig",
     "VistaError",
+    "WhatIfReport",
     "WorkloadCrash",
     "build_model",
     "default_resources",
+    "explain",
     "get_model_stats",
     "optimize",
+    "what_if",
     "__version__",
 ]

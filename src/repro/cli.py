@@ -13,6 +13,10 @@ estimate
 run
     Execute the workload end to end at mini scale on the real engines
     with a synthetic dataset, printing per-layer downstream F1.
+explain
+    Show the complete Algorithm 1 candidate ledger (every cpu with its
+    Eq. 9-15 terms and rejection reasons), optionally pricing a pinned
+    what-if configuration.
 report
     Render a recorded metrics export (memory waterlines, crash
     attribution) or diff two exports against a regression gate.
@@ -276,6 +280,43 @@ def cmd_run(args):
     return 0
 
 
+def cmd_explain(args):
+    from repro.core.config import DownstreamSpec
+    from repro.explain import explain
+    from repro.report import render_explain
+
+    stats, layers, dataset_stats, resources = _workload(args)
+    pins = {}
+    if args.pin_cpu is not None:
+        pins["cpu"] = args.pin_cpu
+    if args.pin_plan is not None:
+        pins["plan"] = args.pin_plan
+    if args.pin_join is not None:
+        pins["join"] = args.pin_join
+    if args.pin_persistence is not None:
+        pins["persistence"] = args.pin_persistence
+    if args.pin_user_frac is not None:
+        pins["user_fraction"] = args.pin_user_frac
+    if args.pin_storage_frac is not None:
+        pins["storage_fraction"] = args.pin_storage_frac
+    result = explain(
+        stats, layers, dataset_stats, resources,
+        downstream=DownstreamSpec(), backend=args.backend,
+        what_if_pins=pins or None,
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(result.to_envelope(), handle, indent=2,
+                      sort_keys=True, default=str)
+            handle.write("\n")
+        print(f"explain envelope written to {args.json}")
+    else:
+        print(render_explain(result))
+    return 0 if result.feasible else 1
+
+
 def cmd_report(args):
     from repro.report import (
         compare,
@@ -345,6 +386,50 @@ def build_parser():
         help="write a trace/v2 envelope with the metrics block to PATH",
     )
 
+    explain = sub.add_parser(
+        "explain",
+        help="EXPLAIN the optimizer's plan choice (full Algorithm 1 "
+             "candidate ledger), optionally with a pinned what-if",
+    )
+    _add_workload_args(explain)
+    explain.add_argument(
+        "--backend", default="spark", choices=["spark", "ignite"]
+    )
+    explain.add_argument(
+        "--pin-cpu", type=int, default=None, metavar="N",
+        help="what-if: pin the per-worker parallelism",
+    )
+    explain.add_argument(
+        "--pin-plan", default=None,
+        choices=["lazy", "lazy-reordered", "eager", "eager-reordered",
+                 "staged", "staged-bj"],
+        help="what-if: pin the logical plan",
+    )
+    explain.add_argument(
+        "--pin-join", default=None, choices=["shuffle", "broadcast"],
+        help="what-if: pin the physical join",
+    )
+    explain.add_argument(
+        "--pin-persistence", default=None,
+        choices=["serialized", "deserialized"],
+        help="what-if: pin the persistence format",
+    )
+    explain.add_argument(
+        "--pin-user-frac", type=float, default=None, metavar="F",
+        help="what-if: pin User Memory to F x the post-DL/OS/Core "
+             "worker memory",
+    )
+    explain.add_argument(
+        "--pin-storage-frac", type=float, default=None, metavar="F",
+        help="what-if: pin Storage Memory to F x the post-DL/OS/Core "
+             "worker memory",
+    )
+    explain.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the ledger as a trace/v2 envelope to PATH instead "
+             "of rendering",
+    )
+
     report = sub.add_parser(
         "report", help="render or diff recorded metrics exports"
     )
@@ -374,6 +459,7 @@ def main(argv=None):
         "plan": cmd_plan,
         "estimate": cmd_estimate,
         "run": cmd_run,
+        "explain": cmd_explain,
         "report": cmd_report,
     }
     return handlers[args.command](args)

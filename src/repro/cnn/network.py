@@ -8,6 +8,8 @@ indices.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.exceptions import InvalidLayerError
@@ -84,10 +86,12 @@ class CNN(TensorOp):
             )
 
     #: Per-operator timing hook: None (untraced, zero overhead beyond
-    #: one attribute check per chain) or a callable like
-    #: :meth:`repro.trace.Tracer.time_op` returning a context manager;
-    #: each layer op's wall time then accumulates on the current trace
-    #: span under an ``op_s:<layer-name>`` counter.
+    #: one attribute check per chain) or a recorder callable
+    #: ``hook(name, seconds)`` like
+    #: :meth:`repro.trace.Tracer.record_op`; the engine times each
+    #: layer op itself and hands the hook the wall seconds, so a timed
+    #: op costs two clock reads and one call — no context-manager
+    #: protocol interleaving with the kernels.
     op_timer = None
 
     def _apply_chain(self, out, ops, batched):
@@ -100,9 +104,11 @@ class CNN(TensorOp):
                 for op in ops:
                     out = op(out)
             return out
+        clock = time.perf_counter
         for op in ops:
-            with timer(op.name):
-                out = op.call_batch(out) if batched else op(out)
+            start = clock()
+            out = op.call_batch(out) if batched else op(out)
+            timer(op.name, clock() - start)
         return out
 
     def apply(self, tensor):

@@ -151,6 +151,34 @@ class Vista:
         )
         return executor.run(plan or self.plan, premat_layer=premat_layer)
 
+    def explain(self, what_if=None):
+        """EXPLAIN this workload's plan choice: the full Algorithm 1
+        candidate ledger (every ``cpu`` with its Eq. 9-15 terms and
+        rejection reasons), with the winner marked — the same candidate
+        :meth:`run` executes.
+
+        ``what_if`` (a dict of :data:`repro.explain.whatif.PIN_KEYS`
+        pins) attaches a priced what-if report for a pinned
+        configuration, including the engine-exact mini-scale peak
+        predictions for this instance's executable CNN and dataset.
+        Returns an :class:`~repro.explain.ExplainResult`; render it
+        with :func:`repro.report.render_explain`.
+        """
+        from repro.explain import explain as explain_fn
+
+        cnn = None
+        if what_if is not None:
+            cnn = build_model(
+                self.model_name, profile=self.model_profile,
+                seed=self.model_seed,
+            )
+        return explain_fn(
+            self.model_stats, self.layers, self.dataset_stats,
+            self.resources, downstream=self.downstream_spec,
+            defaults=self.defaults, backend=self.backend,
+            what_if_pins=what_if, cnn=cnn, dataset=self.dataset,
+        )
+
     def run_resilient(self, plan=None, premat_layer=None, fault_plan=None,
                       seed=0, retry_policy=None, max_attempts=16,
                       feature_store=None, tracer=None, metrics=None):

@@ -196,8 +196,9 @@ class FeatureTransferExecutor:
         self.context.shuffle_bytes_total = 0
         config = self.config
         previous_timer = self.cnn.op_timer
-        if self.tracer.enabled:
-            self.cnn.op_timer = self.tracer.time_op
+        op_hook, op_flush = self._op_timer_hook()
+        if op_hook is not None:
+            self.cnn.op_timer = op_hook
         try:
             with self.tracer.span(
                 "workload", plan=plan.label, join=config.join,
@@ -223,6 +224,8 @@ class FeatureTransferExecutor:
                     span.set("sizing", self._sizing_comparison())
         finally:
             self.cnn.op_timer = previous_timer
+            if op_flush is not None:
+                op_flush()
         self._finalize_metrics()
         trace = self.tracer.root if self.tracer.enabled else None
         registry = (
@@ -232,6 +235,55 @@ class FeatureTransferExecutor:
             plan.label, layer_results, dict(self.metrics), trace=trace,
             metrics_registry=registry,
         )
+
+    def _op_timer_hook(self):
+        """Per-operator hook for the CNN engine, as a ``(recorder,
+        flush)`` pair: the recorder (a ``hook(name, seconds)``
+        callable — the engine reads the clock itself) feeds the
+        tracer's ``op_s:<name>`` counters (when tracing) and collects
+        wall seconds for the ``op_seconds{op_type}`` metrics histogram
+        (when metered); both None when neither sink is on, so the
+        engine skips timing entirely.
+
+        The metered recorder interleaves with the inference inner
+        loops, so it does nothing there beyond a dict lookup and a
+        float append — observations land in the registry only when
+        ``flush`` runs after the workload, keeping the histogram
+        bookkeeping and its allocations out of the operators'
+        cache-hot path (``bench_kernels.py`` gates metrics overhead
+        at 5%)."""
+        tracer_record = (
+            self.tracer.record_op if self.tracer.enabled else None
+        )
+        registry = self.metrics_registry
+        if not registry.enabled:
+            return tracer_record, None
+        samples = {}
+
+        if tracer_record is None:
+
+            def hook(name, seconds):
+                durations = samples.get(name)
+                if durations is None:
+                    durations = samples[name] = []
+                durations.append(seconds)
+
+        else:
+
+            def hook(name, seconds):
+                tracer_record(name, seconds)
+                durations = samples.get(name)
+                if durations is None:
+                    durations = samples[name] = []
+                durations.append(seconds)
+
+        def flush():
+            for name, durations in samples.items():
+                registry.histogram(
+                    "op_seconds", op_type=name
+                ).observe_many(durations)
+
+        return hook, flush
 
     def _sizing_comparison(self):
         """Eq. 16 estimates (from the executable CNN's shapes) next to

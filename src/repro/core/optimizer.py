@@ -20,18 +20,27 @@ simplified objective); remaining variables are then set: Storage gets
 the leftover worker memory, the join is broadcast iff |Tstr| fits
 ``b_max``, and persistence downgrades to serialized when Storage
 cannot hold two consecutive intermediates (s_double).
+
+The search itself is exposed through :func:`enumerate_candidates`,
+which yields one :class:`CandidateRecord` per ``cpu`` — every Eq. 9-15
+memory term plus a structured rejection reason for infeasible
+candidates — so EXPLAIN (:mod:`repro.explain`) can show the complete
+ledger of the search Algorithm 1 performed. :func:`optimize` is a thin
+consumer of the same generator: it stops at the first feasible
+candidate, exactly as before.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass, field
 
 from repro.core.config import (
     DownstreamSpec,
     SystemDefaults,
     VistaConfig,
 )
-from repro.core.sizing import estimate_sizes
+from repro.core.sizing import estimate_sizes, static_storage_need
 from repro.dataflow.joins import BROADCAST, SHUFFLE
 from repro.dataflow.partition import DESERIALIZED, SERIALIZED
 from repro.exceptions import NoFeasiblePlan
@@ -48,6 +57,18 @@ BATCH_INPUT_BYTES = 32 * 227 * 227 * 3 * 4
 #: features and the maximum number of CNN features for any layer").
 DOWNSTREAM_BASE_BYTES = 64 * 1024 * 1024
 DOWNSTREAM_BYTES_PER_FEATURE = 32 * 1024
+
+#: Structured rejection codes attached to infeasible candidates.
+REJECT_GPU = "gpu-memory"                      # Eq. 15
+REJECT_HEADROOM = "memory-headroom"            # Eq. 12
+REJECT_IGNITE_STORAGE = "ignite-static-storage"
+
+#: Numeric encodings of the categorical plan knobs, published as
+#: ``plan_choice`` gauges so ``report --compare`` can gate on a plan
+#: flip between two runs (any change is a regression, see
+#: :func:`repro.report.run_report.compare`).
+JOIN_CODES = {SHUFFLE: 0, BROADCAST: 1}
+PERSISTENCE_CODES = {DESERIALIZED: 0, SERIALIZED: 1}
 
 
 def downstream_mem_bytes(model_stats, layers, num_structured_features):
@@ -89,6 +110,214 @@ def num_partitions_for(s_single, cpu, num_nodes, max_partition_bytes):
     return max(1, multiples) * total_cores
 
 
+@dataclass
+class CandidateRecord:
+    """One row of the Algorithm 1 search ledger: every memory term the
+    optimizer computed for one ``cpu`` candidate, plus the verdict.
+
+    All byte quantities are per-worker unless suffixed ``_per_cluster``.
+    ``join``/``persistence`` are only determined once a candidate passes
+    the Eq. 12 headroom check (Algorithm 1 derives them from the
+    surviving candidate's leftover Storage), so they are ``None`` on
+    candidates rejected earlier.
+    """
+
+    cpu: int
+    num_partitions: int
+    mem_system_bytes: int          # Eq. 12 left-hand budget
+    mem_os_reserved_bytes: int
+    mem_dl_bytes: int              # Eq. 11
+    mem_worker_bytes: int          # system - OS reserved - DL
+    mem_user_bytes: int            # Eq. 10
+    mem_core_bytes: int            # committed Core Memory floor
+    mem_storage_bytes: int         # leftover; <= 0 when infeasible
+    gpu_needed_bytes: int = 0      # Eq. 15 demand (0 without a GPU)
+    gpu_capacity_bytes: int = 0
+    join: str | None = None
+    persistence: str | None = None
+    storage_per_cluster_bytes: int = 0
+    static_storage_need_bytes: int | None = None   # ignite backend only
+    feasible: bool = False
+    chosen: bool = False
+    rejection: dict | None = None
+
+    def reject(self, code, detail):
+        self.feasible = False
+        self.rejection = {"code": code, "detail": detail}
+        return self
+
+    def region_bytes(self):
+        """Per-region predicted requirement/budget of this candidate,
+        keyed like the executor's ``region_budget_bytes``."""
+        return {
+            "user": self.mem_user_bytes,
+            "dl": self.mem_dl_bytes,
+            "core": self.mem_core_bytes,
+            "storage": max(0, self.mem_storage_bytes),
+        }
+
+    def to_dict(self):
+        return {
+            "cpu": self.cpu,
+            "num_partitions": self.num_partitions,
+            "mem_system_bytes": self.mem_system_bytes,
+            "mem_os_reserved_bytes": self.mem_os_reserved_bytes,
+            "mem_dl_bytes": self.mem_dl_bytes,
+            "mem_worker_bytes": self.mem_worker_bytes,
+            "mem_user_bytes": self.mem_user_bytes,
+            "mem_core_bytes": self.mem_core_bytes,
+            "mem_storage_bytes": self.mem_storage_bytes,
+            "gpu_needed_bytes": self.gpu_needed_bytes,
+            "gpu_capacity_bytes": self.gpu_capacity_bytes,
+            "join": self.join,
+            "persistence": self.persistence,
+            "storage_per_cluster_bytes": self.storage_per_cluster_bytes,
+            "static_storage_need_bytes": self.static_storage_need_bytes,
+            "feasible": self.feasible,
+            "chosen": self.chosen,
+            "rejection": dict(self.rejection) if self.rejection else None,
+        }
+
+
+def config_from_candidate(candidate):
+    """The :class:`VistaConfig` a feasible candidate executes as."""
+    if not candidate.feasible:
+        raise NoFeasiblePlan(
+            f"candidate cpu={candidate.cpu} is infeasible: "
+            f"{candidate.rejection}"
+        )
+    return VistaConfig(
+        cpu=candidate.cpu,
+        num_partitions=candidate.num_partitions,
+        mem_storage_bytes=candidate.mem_storage_bytes,
+        mem_user_bytes=candidate.mem_user_bytes,
+        mem_dl_bytes=candidate.mem_dl_bytes,
+        join=candidate.join,
+        persistence=candidate.persistence,
+    )
+
+
+def evaluate_candidate(model_stats, layers, dataset_stats, resources,
+                       cpu, downstream=None, defaults=None,
+                       backend="spark", sizing=None):
+    """Evaluate one ``cpu`` candidate exactly as Algorithm 1's loop
+    body would, returning its :class:`CandidateRecord` — the verdict,
+    every Eq. 9-15 term, and a structured rejection when infeasible.
+
+    What-if analysis calls this directly to price a pinned ``cpu``
+    (even one the normal search range would never visit)."""
+    downstream = downstream or DownstreamSpec()
+    defaults = defaults or SystemDefaults()
+    if sizing is None:
+        sizing = estimate_sizes(
+            model_stats, layers, dataset_stats, alpha=defaults.alpha
+        )
+    f_mem = model_stats.runtime_mem_bytes
+    m_mem = downstream.mem_bytes
+    if m_mem is None:
+        m_mem = downstream_mem_bytes(
+            model_stats, layers, dataset_stats.num_structured_features
+        )
+    np_ = num_partitions_for(
+        sizing.s_single, cpu, resources.num_nodes,
+        defaults.max_partition_bytes,
+    )
+    mem_dl = _dl_memory(cpu, f_mem, downstream, m_mem)
+    mem_worker = (
+        resources.system_memory_bytes
+        - defaults.os_reserved_bytes
+        - mem_dl
+    )
+    mem_user = int(user_memory_requirement(
+        model_stats, sizing.s_single, np_, cpu, m_mem, defaults.alpha
+    ))
+    mem_storage = int(
+        mem_worker - mem_user - defaults.core_memory_bytes
+    )
+    candidate = CandidateRecord(
+        cpu=cpu,
+        num_partitions=np_,
+        mem_system_bytes=resources.system_memory_bytes,
+        mem_os_reserved_bytes=defaults.os_reserved_bytes,
+        mem_dl_bytes=mem_dl,
+        mem_worker_bytes=mem_worker,
+        mem_user_bytes=mem_user,
+        mem_core_bytes=defaults.core_memory_bytes,
+        mem_storage_bytes=mem_storage,
+    )
+    if resources.has_gpu:
+        per_replica = max(
+            model_stats.gpu_mem_bytes, downstream.gpu_mem_bytes
+        )
+        candidate.gpu_needed_bytes = cpu * per_replica
+        candidate.gpu_capacity_bytes = resources.gpu_memory_bytes
+        if not _gpu_feasible(cpu, model_stats, downstream, resources):
+            return candidate.reject(REJECT_GPU, (
+                f"Eq. 15: {cpu} model replicas need "
+                f"{candidate.gpu_needed_bytes} B of GPU memory, "
+                f"only {candidate.gpu_capacity_bytes} B available"
+            ))
+    if mem_storage <= 0:
+        return candidate.reject(REJECT_HEADROOM, (
+            f"Eq. 12: User {mem_user} B + Core "
+            f"{defaults.core_memory_bytes} B exceed the "
+            f"{mem_worker} B left after OS and DL reservations"
+        ))
+    candidate.join = (
+        BROADCAST
+        if sizing.structured_table_bytes < defaults.max_broadcast_bytes
+        else SHUFFLE
+    )
+    storage_per_cluster = mem_storage * resources.num_nodes
+    candidate.storage_per_cluster_bytes = storage_per_cluster
+    candidate.persistence = (
+        SERIALIZED if storage_per_cluster < sizing.s_double
+        else DESERIALIZED
+    )
+    if backend == "ignite":
+        needed = static_storage_need(
+            sizing.s_single, candidate.persistence,
+            model_stats.serialized_ratio, alpha=defaults.alpha,
+        )
+        candidate.static_storage_need_bytes = needed
+        if needed > storage_per_cluster:
+            return candidate.reject(REJECT_IGNITE_STORAGE, (
+                f"Ignite's static Storage region holds "
+                f"{storage_per_cluster} B cluster-wide but the "
+                f"largest cached stage needs {needed} B; a lower "
+                f"cpu frees more Storage"
+            ))
+    candidate.feasible = True
+    return candidate
+
+
+def enumerate_candidates(model_stats, layers, dataset_stats, resources,
+                         downstream=None, defaults=None, backend="spark",
+                         sizing=None):
+    """Yield a :class:`CandidateRecord` for every ``cpu`` Algorithm 1's
+    linear search considers, highest candidate first.
+
+    This is the search itself: :func:`optimize` consumes records until
+    the first feasible one, EXPLAIN exhausts the generator for the full
+    ledger. Feasibility semantics are bit-identical to the original
+    inline loop — each record carries the Eq. 9-15 terms that decided
+    its verdict and, when rejected, a structured ``rejection`` with a
+    machine-readable ``code`` and a human-readable ``detail``.
+    """
+    defaults = defaults or SystemDefaults()
+    if sizing is None:
+        sizing = estimate_sizes(
+            model_stats, layers, dataset_stats, alpha=defaults.alpha
+        )
+    upper = min(resources.cores_per_node, defaults.cpu_max) - 1
+    for cpu in range(max(1, upper), 0, -1):
+        yield evaluate_candidate(
+            model_stats, layers, dataset_stats, resources, cpu,
+            downstream=downstream, defaults=defaults, backend=backend,
+            sizing=sizing,
+        )
+
+
 def optimize(model_stats, layers, dataset_stats, resources,
              downstream=None, defaults=None, backend="spark",
              tracer=None, metrics=None):
@@ -112,9 +341,10 @@ def optimize(model_stats, layers, dataset_stats, resources,
 
     With a ``metrics`` registry, the chosen configuration's per-region
     requirements (Eqs. 10-11 and the storage working set) are published
-    as ``predicted_peak_bytes`` gauges, so a metrics-enabled run
-    records the optimizer's prediction next to the observed occupancy
-    peaks and estimate error becomes a first-class metric.
+    as ``predicted_peak_bytes`` gauges, and the chosen knobs themselves
+    as ``plan_choice`` gauges, so a metrics-enabled run records the
+    optimizer's prediction next to the observed occupancy peaks and
+    both estimate error and plan flips become first-class metrics.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     metrics = metrics if metrics is not None else NULL_METRICS
@@ -123,13 +353,6 @@ def optimize(model_stats, layers, dataset_stats, resources,
     sizing = estimate_sizes(
         model_stats, layers, dataset_stats, alpha=defaults.alpha
     )
-    f_mem = model_stats.runtime_mem_bytes
-    m_mem = downstream.mem_bytes
-    if m_mem is None:
-        m_mem = downstream_mem_bytes(
-            model_stats, layers, dataset_stats.num_structured_features
-        )
-
     with tracer.span("optimize", backend=backend,
                      model=model_stats.name) as span:
         span.set("estimated_table_bytes",
@@ -137,69 +360,31 @@ def optimize(model_stats, layers, dataset_stats, resources,
         span.set("s_single", sizing.s_single)
         span.set("s_double", sizing.s_double)
         upper = min(resources.cores_per_node, defaults.cpu_max) - 1
-        for cpu in range(max(1, upper), 0, -1):
-            if not _gpu_feasible(cpu, model_stats, downstream, resources):
+        for candidate in enumerate_candidates(
+            model_stats, layers, dataset_stats, resources,
+            downstream=downstream, defaults=defaults, backend=backend,
+            sizing=sizing,
+        ):
+            if not candidate.feasible:
                 span.add("candidates_rejected")
                 continue
-            np_ = num_partitions_for(
-                sizing.s_single, cpu, resources.num_nodes,
-                defaults.max_partition_bytes,
+            candidate.chosen = True
+            config = config_from_candidate(candidate)
+            span.set("chosen", {
+                "cpu": config.cpu,
+                "num_partitions": config.num_partitions,
+                "join": config.join,
+                "persistence": config.persistence,
+                "mem_storage_bytes": config.mem_storage_bytes,
+                "mem_user_bytes": config.mem_user_bytes,
+                "mem_dl_bytes": config.mem_dl_bytes,
+            })
+            _record_predictions(
+                metrics, config, sizing, resources, defaults,
+                model_stats,
             )
-            mem_worker = (
-                resources.system_memory_bytes
-                - defaults.os_reserved_bytes
-                - _dl_memory(cpu, f_mem, downstream, m_mem)
-            )
-            mem_user = user_memory_requirement(
-                model_stats, sizing.s_single, np_, cpu, m_mem, defaults.alpha
-            )
-            if mem_worker - mem_user > defaults.core_memory_bytes:
-                mem_storage = int(
-                    mem_worker - mem_user - defaults.core_memory_bytes
-                )
-                join = (
-                    BROADCAST
-                    if sizing.structured_table_bytes
-                    < defaults.max_broadcast_bytes
-                    else SHUFFLE
-                )
-                storage_per_cluster = mem_storage * resources.num_nodes
-                persistence = (
-                    SERIALIZED if storage_per_cluster < sizing.s_double
-                    else DESERIALIZED
-                )
-                if backend == "ignite":
-                    from repro.core.sizing import static_storage_need
-
-                    needed = static_storage_need(
-                        sizing.s_single, persistence,
-                        model_stats.serialized_ratio, alpha=defaults.alpha,
-                    )
-                    if needed > storage_per_cluster:
-                        span.add("candidates_rejected")
-                        continue  # lower cpu frees more Storage
-                config = VistaConfig(
-                    cpu=cpu,
-                    num_partitions=np_,
-                    mem_storage_bytes=mem_storage,
-                    mem_user_bytes=int(mem_user),
-                    mem_dl_bytes=_dl_memory(cpu, f_mem, downstream, m_mem),
-                    join=join,
-                    persistence=persistence,
-                )
-                span.set("chosen", {
-                    "cpu": cpu, "num_partitions": np_, "join": join,
-                    "persistence": persistence,
-                    "mem_storage_bytes": mem_storage,
-                    "mem_user_bytes": int(mem_user),
-                    "mem_dl_bytes": config.mem_dl_bytes,
-                })
-                _record_predictions(
-                    metrics, config, sizing, resources, defaults,
-                    model_stats,
-                )
-                return config
-            span.add("candidates_rejected")
+            _record_choice(metrics, config)
+            return config
         raise NoFeasiblePlan(
             f"no cpu in [1, {max(1, upper)}] satisfies the memory "
             f"constraints for {model_stats.name} on "
@@ -216,8 +401,6 @@ def _record_predictions(metrics, config, sizing, resources, defaults,
     vs observed occupancy."""
     if not metrics.enabled:
         return
-    from repro.core.sizing import static_storage_need
-
     storage_need = static_storage_need(
         sizing.s_double, config.persistence,
         model_stats.serialized_ratio, alpha=defaults.alpha,
@@ -231,6 +414,23 @@ def _record_predictions(metrics, config, sizing, resources, defaults,
         metrics.gauge("predicted_peak_bytes", region=region).set(
             int(nbytes)
         )
+
+
+def _record_choice(metrics, config):
+    """Publish the chosen knobs as ``plan_choice`` gauges (categorical
+    knobs numerically encoded via :data:`JOIN_CODES` /
+    :data:`PERSISTENCE_CODES`) so the regression gate can flag a plan
+    flip between two runs even when every timing metric improved."""
+    if not metrics.enabled:
+        return
+    choices = {
+        "cpu": config.cpu,
+        "num_partitions": config.num_partitions,
+        "join": JOIN_CODES.get(config.join, -1),
+        "persistence": PERSISTENCE_CODES.get(config.persistence, -1),
+    }
+    for knob, code in choices.items():
+        metrics.gauge("plan_choice", knob=knob).set(int(code))
 
 
 def _dl_memory(cpu, f_mem, downstream, m_mem):

@@ -97,6 +97,21 @@ STAGE_OVERHEAD_S = 2.0
 #: input buffer holds per image regardless of the JPEG size.
 DECODED_IMAGE_BYTES = 227 * 227 * 3 * 4
 
+# ---------------------------------------------------------------------
+#: Acceptable predicted/observed band for per-region memory-peak
+#: predictions (``repro.explain.peaks``): predictions must bound the
+#: observed peak from above without overshooting 2x — mirroring the
+#: 1.0-2.0x band DESIGN.md documents for Eq. 16 size estimates. Ratios
+#: are predicted / observed.
+PEAK_PREDICTION_BAND = (1.0, 2.0)
+
+#: Acceptable predicted/observed band for per-stage *runtime* ratios
+#: in calibration. Wall-clock predictions come from the paper-scale
+#: cost model applied to mini workloads on arbitrary CI hardware, so
+#: the band is intentionally loose: calibration gates on *drift* of
+#: these ratios between runs, not their absolute value.
+RUNTIME_PREDICTION_BAND = (1e-3, 1e3)
+
 
 def cpu_speedup(cpu):
     """Relative node throughput at ``cpu`` threads vs one thread."""

@@ -12,6 +12,7 @@ from repro.metrics.registry import (
     NullMetrics,
     find_series,
     merge_exports,
+    series_last,
     series_peak,
 )
 
@@ -25,5 +26,6 @@ __all__ = [
     "NullMetrics",
     "find_series",
     "merge_exports",
+    "series_last",
     "series_peak",
 ]

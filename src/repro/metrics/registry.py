@@ -183,6 +183,37 @@ class Histogram(_Instrument):
         self._append(value)
         return value
 
+    def observe_many(self, values):
+        """Bulk :meth:`observe` for deferred flushes.
+
+        Updates count/sum/min/max and the bucket counts exactly as a
+        loop of ``observe`` calls would, but appends a single
+        time-series sample (the batch's last value) — the values were
+        collected earlier, so per-value flush-time timestamps would be
+        fiction anyway, and hot paths that defer recording (the
+        executor's per-operator timer) shouldn't pay a sample append
+        per value when they finally flush.
+        """
+        from bisect import bisect_left
+
+        if not values:
+            return None
+        buckets = self.buckets
+        counts = self.bucket_counts
+        for value in values:
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            # bisect_left finds the first bound >= value, i.e. the
+            # same bucket the linear scan in ``observe`` picks; past
+            # the last bound it lands on the overflow slot.
+            counts[bisect_left(buckets, value)] += 1
+        self._append(values[-1])
+        return values[-1]
+
     def to_dict(self):
         payload = super().to_dict()
         payload.update({
@@ -335,6 +366,19 @@ def series_peak(series):
     return max((sample[2] for sample in samples), default=None)
 
 
+def series_last(series):
+    """Final value of a series dict (gauges export it as ``last``,
+    counters as ``total``; otherwise the last sample). This is what
+    plan-choice gauges and other end-state levels are compared on."""
+    if series is None:
+        return None
+    for key in ("last", "total"):
+        if series.get(key) is not None:
+            return series[key]
+    samples = series.get("samples") or ()
+    return samples[-1][2] if samples else None
+
+
 class _NullInstrument:
     """Shared no-op stand-in for every instrument kind."""
 
@@ -358,6 +402,9 @@ class _NullInstrument:
         pass
 
     def observe(self, value):
+        pass
+
+    def observe_many(self, values):
         pass
 
     def to_dict(self):

@@ -4,6 +4,7 @@ metrics-driven run report (waterlines, crash attribution, regression
 gates)."""
 
 from repro.report.ascii import bar_chart, line_chart
+from repro.report.explain_ascii import render_explain
 from repro.report.run_report import (
     SCENARIOS,
     attribute_crash,
@@ -30,6 +31,7 @@ __all__ = [
     "predicted_vs_observed",
     "render_compare",
     "render_crash_report",
+    "render_explain",
     "render_report",
     "render_trace",
     "render_waterline",

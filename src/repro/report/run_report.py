@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 
-from repro.metrics import find_series, series_peak
+from repro.metrics import find_series, series_last, series_peak
 
 #: Section 4.1 crash scenarios, keyed by the exception class name the
 #: memory model (or the Ignite-style storage manager) raises.
@@ -404,8 +404,18 @@ def render_report(source, width=60, height=8):
 # ----------------------------------------------------------------------
 # regression gates
 # ----------------------------------------------------------------------
+#: Gauge names compared for *equality*: any flip is a regression.
+#: ``plan_choice`` encodes the optimizer's chosen cpu/np/join/
+#: persistence, so a gate catches plan-choice flips that numeric
+#: drift gates would miss. Checked before SKIP_FIELDS ("cpu",
+#: "partitions" are skip substrings).
+EXACT_FIELDS = ("plan_choice",)
+
+
 def _direction(key):
     lowered = key.lower()
+    if any(tag in lowered for tag in EXACT_FIELDS):
+        return "exact"
     if any(tag in lowered for tag in SKIP_FIELDS):
         return None
     if any(tag in lowered for tag in HIGHER_IS_BETTER):
@@ -439,7 +449,8 @@ def comparable_items(source):
 
     A ``trace/v2`` envelope contributes its flattened ``results``
     scalars; a metrics block (standalone or embedded) contributes each
-    counter's total and each histogram's sum.
+    counter's total, each histogram's sum, and the last value of every
+    :data:`EXACT_FIELDS` gauge (the optimizer's recorded plan choice).
     """
     if isinstance(source, str):
         with open(source) as handle:
@@ -455,6 +466,11 @@ def comparable_items(source):
                 items[_series_key(series)] = float(series["total"])
             elif kind == "histogram" and series.get("sum") is not None:
                 items[_series_key(series)] = float(series["sum"])
+            elif (kind == "gauge"
+                  and any(tag in (series.get("name") or "")
+                          for tag in EXACT_FIELDS)
+                  and series_last(series) is not None):
+                items[_series_key(series)] = float(series_last(series))
     return items
 
 
@@ -476,7 +492,11 @@ def compare(old, new, gate=1.15, min_value=1e-9):
         direction = _direction(key)
         regression = False
         ratio = None
-        if max(abs(old_value), abs(new_value)) > min_value:
+        if direction == "exact":
+            regression = old_value != new_value
+            if old_value > min_value:
+                ratio = new_value / old_value
+        elif max(abs(old_value), abs(new_value)) > min_value:
             if old_value > min_value:
                 ratio = new_value / old_value
             if direction == "lower":
@@ -514,9 +534,8 @@ def render_compare(rows, gate=1.15, max_rows=40):
     for row in shown:
         ratio = f"x{row['ratio']:.3f}" if row["ratio"] else "     -"
         flag = " REGRESSION" if row["regression"] else ""
-        direction = {"lower": "v", "higher": "^", None: " "}[
-            row["direction"]
-        ]
+        direction = {"lower": "v", "higher": "^", "exact": "=",
+                     None: " "}[row["direction"]]
         lines.append(
             f"  {direction} {row['key'].ljust(key_width)} "
             f"{row['old']:>14.6g} -> {row['new']:>14.6g} {ratio:>8}"

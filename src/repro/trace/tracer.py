@@ -210,6 +210,13 @@ class Tracer:
                 f"op_s:{name}", time.perf_counter() - start
             )
 
+    def record_op(self, name, seconds):
+        """Recorder form of :meth:`time_op`: add already-measured wall
+        seconds to the current span's ``op_s:<name>`` counter. The CNN
+        engine's ``op_timer`` hook uses this shape — the engine reads
+        the clock itself, so the per-op cost stays at one call."""
+        self._stack[-1].add(f"op_s:{name}", seconds)
+
     # ------------------------------------------------------------------
     def finish(self):
         """Close the root span and return it."""
@@ -291,6 +298,9 @@ class NullTracer:
     def time_op(self, name):
         return _NULL_SPAN
 
+    def record_op(self, name, seconds):
+        pass
+
     def finish(self):
         return None
 
@@ -303,3 +313,33 @@ class NullTracer:
 
 #: The process-wide disabled tracer every layer defaults to.
 NULL_TRACER = NullTracer()
+
+
+def find_spans(trace, name):
+    """All span dicts in an *exported* trace whose name matches
+    ``name`` exactly or starts with ``name`` up to a ``:`` separator
+    (so ``find_spans(trace, "inference")`` collects every
+    ``inference:<layer>`` span). ``trace`` is a ``Tracer.export()``
+    dict or any span dict; returns matches in depth-first order."""
+    if not trace:
+        return []
+    matches = []
+    stack = [trace]
+    while stack:
+        span = stack.pop()
+        span_name = span.get("name", "")
+        if span_name == name or span_name.startswith(name + ":"):
+            matches.append(span)
+        stack.extend(reversed(span.get("children", ())))
+    return matches
+
+
+def spans_wall_seconds(trace, name):
+    """Total wall seconds across every span matching ``name`` in an
+    exported trace (prefix semantics of :func:`find_spans`). Nested
+    matches double-count by design — pass the most specific prefix.
+    Calibration uses this to sum per-stage measured time against the
+    cost model's predicted per-stage breakdown."""
+    return sum(
+        span.get("wall_s") or 0.0 for span in find_spans(trace, name)
+    )
