@@ -151,6 +151,7 @@ COMMITTED_BENCHES = {
     "kernels": "BENCH_kernels.json",
     "recovery": "BENCH_recovery.json",
     "calibration": "BENCH_calibration.json",
+    "dataflow": "BENCH_dataflow.json",
 }
 
 

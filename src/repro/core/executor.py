@@ -19,10 +19,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.plans import JoinPlacement, Materialization
+from repro.dataflow.columnar import ColumnarBlock, pack_column
 from repro.dataflow.executor import charge_model_replicas
 from repro.dataflow.joins import join as physical_join
 from repro.dataflow.table import DistributedTable
-from repro.features.pooling import pool_feature_tensor, pool_feature_tensor_batch
+from repro.features.pooling import (
+    pool_feature_tensor,
+    pool_feature_tensor_batch,
+    pool_feature_tensors,
+)
 from repro.memory.model import Region
 from repro.metrics import NULL_METRICS
 from repro.ml.logistic import LogisticRegression
@@ -160,6 +165,7 @@ class FeatureTransferExecutor:
         self.feature_store = feature_store
         self.metrics = {}
         self._measured_table_bytes = {}
+        self._batched_fallbacks = 0
         if tracer is not None:
             context.attach_tracer(tracer)
         self.tracer = getattr(context, "tracer", NULL_TRACER)
@@ -192,6 +198,7 @@ class FeatureTransferExecutor:
             "premat_flops": 0,
         }
         self._measured_table_bytes = {}
+        self._batched_fallbacks = 0
         self.context.reset_metrics()
         self.context.shuffle_bytes_total = 0
         config = self.config
@@ -331,12 +338,20 @@ class FeatureTransferExecutor:
         all_layers = self.layers
         # Sniff the first *non-empty* partition: partition 0 may be
         # empty (skewed keys, tiny tables) and an all-empty table has
-        # nothing to reject.
+        # nothing to reject. Columnar partitions answer from the block
+        # without materializing row views.
         for partition in source.partitions:
-            rows = partition.rows()
-            if not rows:
+            if len(partition) == 0:
                 continue
-            if isinstance(rows[0].get(source_field), TensorList):
+            block = partition.block()
+            if block is not None:
+                sample = (
+                    block.column(source_field)[0]
+                    if block.has_column(source_field) else None
+                )
+            else:
+                sample = partition.rows()[0].get(source_field)
+            if isinstance(sample, TensorList):
                 raise NotImplementedError(
                     "Eager materialization with multiple images per record "
                     "is not supported (it would need nested TensorLists); "
@@ -344,7 +359,38 @@ class FeatureTransferExecutor:
                 )
             break
 
-        def materialize_partition(rows):
+        def run_all_layers(current, num_rows):
+            """All-layer inference over one (N, ...) source stack;
+            returns one TensorList of layer outputs per row."""
+            per_row = [[] for _ in range(num_rows)]
+            previous = source_layer
+            for layer in all_layers:
+                current = self.cnn.partial_forward_batch(
+                    current, previous or 0, layer
+                )
+                for tensors, member in zip(per_row, current):
+                    tensors.append(member)
+                previous = layer
+            return [TensorList(tensors) for tensors in per_row]
+
+        def materialize_block(block):
+            if block.num_rows == 0:
+                return ColumnarBlock.empty()
+            columns = {"id": block.column("id")}
+            for field in ("features", "label"):
+                if block.has_column(field):
+                    columns[field] = block.column(field)
+            if block.is_array(source_field):
+                current = block.column(source_field)
+            else:
+                current = np.stack([
+                    np.asarray(v, dtype=np.float32)
+                    for v in block.column(source_field)
+                ])
+            columns["tensors"] = run_all_layers(current, block.num_rows)
+            return ColumnarBlock(columns, block.num_rows)
+
+        def materialize_rows(rows):
             if not rows:
                 return []
             out_rows = []
@@ -358,17 +404,9 @@ class FeatureTransferExecutor:
                 [np.asarray(row[source_field], dtype=np.float32)
                  for row in rows]
             )
-            per_row = [[] for _ in rows]
-            previous = source_layer
-            for layer in all_layers:
-                current = self.cnn.partial_forward_batch(
-                    current, previous or 0, layer
-                )
-                for tensors, member in zip(per_row, current):
-                    tensors.append(member)
-                previous = layer
-            for out, tensors in zip(out_rows, per_row):
-                out["tensors"] = TensorList(tensors)
+            tensor_lists = run_all_layers(current, len(rows))
+            for out, tensors in zip(out_rows, tensor_lists):
+                out["tensors"] = tensors
             return out_rows
 
         base = source
@@ -382,9 +420,9 @@ class FeatureTransferExecutor:
                 self.context, self.model_mem_bytes
             )
             try:
-                eager_table = base.map_partitions(
-                    materialize_partition, name="t_eager",
-                    user_alpha=self.user_alpha,
+                eager_table = base.map_blocks(
+                    materialize_block, row_fn=materialize_rows,
+                    name="t_eager", user_alpha=self.user_alpha,
                 )
             finally:
                 release()
@@ -403,13 +441,37 @@ class FeatureTransferExecutor:
         results = {}
         try:
             for position, layer in enumerate(all_layers):
-                projected = eager_table.map_rows(
-                    lambda row, p=position: {
-                        "id": row["id"],
-                        "features": row["features"],
-                        "label": row["label"],
-                        "tensor": row["tensors"][p],
-                    },
+
+                def project_block(block, p=position):
+                    if block.num_rows == 0:
+                        return ColumnarBlock.empty()
+                    return ColumnarBlock(
+                        {
+                            "id": block.column("id"),
+                            "features": block.column("features"),
+                            "label": block.column("label"),
+                            # Same-shape members stack back into one
+                            # (N, ...) tensor column for batched
+                            # pooling downstream.
+                            "tensor": pack_column([
+                                tensors[p]
+                                for tensors in block.column("tensors")
+                            ]),
+                        },
+                        block.num_rows,
+                    )
+
+                projected = eager_table.map_blocks(
+                    project_block,
+                    row_fn=lambda rows, p=position: [
+                        {
+                            "id": row["id"],
+                            "features": row["features"],
+                            "label": row["label"],
+                            "tensor": row["tensors"][p],
+                        }
+                        for row in rows
+                    ],
                     user_alpha=self.user_alpha,
                 )
                 results[layer] = self._train(projected, layer)
@@ -485,29 +547,89 @@ class FeatureTransferExecutor:
                 sp.set("store_hit", False)
             return table
 
+    def _infer_ragged(self, values, from_layer, to_layer):
+        """Batched inference over an object column (ragged tensors or
+        TensorList members): every tensor — TensorList members included
+        — joins one flat work list, the list is grouped by exact shape,
+        and each group runs the batched kernels once. Zero-padding
+        through conv would change the outputs, so exact-shape grouping
+        is what keeps the bit-identical-features invariant; only
+        singleton groups (nothing to batch with) fall back to the
+        per-tensor kernel, counted in ``batched_fallback_total``."""
+        flat = []  # (row position, TensorList member position or None)
+        tensors = []
+        for position, value in enumerate(values):
+            if isinstance(value, TensorList):
+                for member_position, member in enumerate(value):
+                    flat.append((position, member_position))
+                    tensors.append(np.asarray(member, dtype=np.float32))
+            else:
+                flat.append((position, None))
+                tensors.append(np.asarray(value, dtype=np.float32))
+        groups = {}
+        for index, tensor in enumerate(tensors):
+            groups.setdefault(tensor.shape, []).append(index)
+        outputs = [None] * len(tensors)
+        fallbacks = 0
+        for indices in groups.values():
+            if len(indices) == 1:
+                index = indices[0]
+                outputs[index] = self.cnn.partial_forward(
+                    tensors[index], from_layer or 0, to_layer
+                )
+                fallbacks += 1
+                continue
+            batch = self.cnn.partial_forward_batch(
+                np.stack([tensors[i] for i in indices]),
+                from_layer or 0, to_layer,
+            )
+            for index, member in zip(indices, batch):
+                outputs[index] = member
+        if fallbacks:
+            self._batched_fallbacks += fallbacks
+            self.metrics_registry.counter(
+                "batched_fallback_total"
+            ).inc(fallbacks)
+        per_row = [None] * len(values)
+        members = {}
+        for (position, member_position), output in zip(flat, outputs):
+            if member_position is None:
+                per_row[position] = output
+            else:
+                members.setdefault(position, []).append(output)
+        for position, collected in members.items():
+            per_row[position] = TensorList(collected)
+        return per_row
+
     def _inference_map(self, table, field, from_layer, to_layer, keep=()):
-        """Partial CNN inference ``f̂_{from→to}`` as a partition-level
+        """Partial CNN inference ``f̂_{from→to}`` as a block-level
         batched UDF, with DL replica charges held for the duration.
 
-        Each partition's image column is stacked into one (N, H, W, C)
-        block, run through the batched kernels once, and split back
-        into rows. Outputs (and therefore the wave-based User Memory
-        charges on the produced rows) are unchanged versus the per-row
-        path; only kernel invocation granularity differs.
+        Columnar partitions feed their stored ``(N, H, W, C)`` image
+        column straight into the batched kernels — zero-copy, no
+        per-stage stack/split. Object columns (ragged tensors,
+        TensorLists) batch by exact shape group via
+        :meth:`_infer_ragged`. Legacy row partitions keep the old
+        stack-then-batch path.
         """
-        def infer_one(value):
-            # Multiple images per record (TensorList column) run the
-            # CNN per member — the paper's future-work extension.
-            if isinstance(value, TensorList):
-                return TensorList([
-                    self.cnn.partial_forward(t, from_layer or 0, to_layer)
-                    for t in value
-                ])
-            return self.cnn.partial_forward(
-                value, from_layer or 0, to_layer
-            )
+        def infer_block(block):
+            if block.num_rows == 0:
+                return ColumnarBlock.empty()
+            columns = {"id": block.column("id")}
+            for extra in keep:
+                if block.has_column(extra):
+                    columns[extra] = block.column(extra)
+            if block.is_array(field):
+                columns["tensor"] = self.cnn.partial_forward_batch(
+                    block.column(field), from_layer or 0, to_layer
+                )
+            else:
+                columns["tensor"] = pack_column(self._infer_ragged(
+                    block.column(field), from_layer, to_layer
+                ))
+            return ColumnarBlock(columns, block.num_rows)
 
-        def infer_partition(rows):
+        def infer_rows(rows):
             if not rows:
                 return []
             values = [row[field] for row in rows]
@@ -519,7 +641,7 @@ class FeatureTransferExecutor:
                     batch, from_layer or 0, to_layer
                 ))
             else:
-                tensors = [infer_one(value) for value in values]
+                tensors = self._infer_ragged(values, from_layer, to_layer)
             out_rows = []
             for row, tensor in zip(rows, tensors):
                 out = {"id": row["id"]}
@@ -536,8 +658,8 @@ class FeatureTransferExecutor:
         ) as sp:
             release = charge_model_replicas(self.context, self.model_mem_bytes)
             try:
-                result = table.map_partitions(
-                    infer_partition, name=f"t_{to_layer}",
+                result = table.map_blocks(
+                    infer_block, row_fn=infer_rows, name=f"t_{to_layer}",
                     user_alpha=self.user_alpha,
                 )
             finally:
@@ -583,12 +705,54 @@ class FeatureTransferExecutor:
 
         def pool_one(tensor):
             if isinstance(tensor, TensorList):
-                return np.concatenate([
-                    pool_feature_tensor(t, grid=grid) for t in tensor
-                ])
+                return np.concatenate(
+                    pool_feature_tensors(list(tensor), grid=grid)
+                )
             return pool_feature_tensor(tensor, grid=grid)
 
-        def vectorize_partition(rows):
+        def pool_values(tensors):
+            """Pooled vectors for an object tensor column: plain ragged
+            tensors batch by shape group; TensorList rows concatenate
+            their members' pooled vectors."""
+            if not any(isinstance(t, TensorList) for t in tensors):
+                return pool_feature_tensors(tensors, grid=grid)
+            return [pool_one(t) for t in tensors]
+
+        def vectorize_block(block):
+            if block.num_rows == 0:
+                return ColumnarBlock.empty()
+            if block.is_array("tensor"):
+                # Zero-copy: pooling reads the stored (N, ...) block.
+                pooled = pool_feature_tensor_batch(
+                    block.column("tensor"), grid=grid
+                )
+            else:
+                pooled = pack_column(pool_values(block.column("tensor")))
+            feats = block.column("features")
+            if isinstance(pooled, np.ndarray) \
+                    and block.is_array("features"):
+                vectors = np.concatenate(
+                    [feats.astype(np.float32, copy=False),
+                     np.asarray(pooled, dtype=np.float32)], axis=1,
+                )
+            else:
+                vectors = [
+                    np.concatenate(
+                        [np.asarray(f, dtype=np.float32),
+                         np.asarray(v, dtype=np.float32)]
+                    )
+                    for f, v in zip(feats, pooled)
+                ]
+            return ColumnarBlock(
+                {
+                    "id": block.column("id"),
+                    "label": block.column("label"),
+                    "x": vectors,
+                },
+                block.num_rows,
+            )
+
+        def vectorize_rows(rows):
             if not rows:
                 return []
             tensors = [row["tensor"] for row in rows]
@@ -598,7 +762,7 @@ class FeatureTransferExecutor:
                 )
                 pooled = pool_feature_tensor_batch(batch, grid=grid)
             else:
-                pooled = [pool_one(t) for t in tensors]
+                pooled = pool_values(tensors)
             return [
                 {
                     "id": row["id"],
@@ -610,19 +774,63 @@ class FeatureTransferExecutor:
                 for row, vec in zip(rows, pooled)
             ]
 
-        vectors = table.map_partitions(
-            vectorize_partition, user_alpha=self.user_alpha
+        vectors = table.map_blocks(
+            vectorize_block, row_fn=vectorize_rows,
+            user_alpha=self.user_alpha,
         )
-        rows = vectors.collect()
-        rows.sort(key=lambda row: row["id"])
-        features = np.stack([row["x"] for row in rows])
-        labels = np.array([row["label"] for row in rows], dtype=np.int64)
+        features, labels = self._collect_train_matrix(vectors)
         with self.tracer.span(f"downstream:{layer}") as down:
             outcome = self.downstream_fn(features, labels)
             down.add("rows", features.shape[0])
             down.add("feature_dim", features.shape[1])
         sp.set("feature_dim", int(features.shape[1]))
         return LayerResult(layer, features.shape[1], outcome)
+
+    def _collect_train_matrix(self, vectors):
+        """Gather the vectorized table at the driver as ``(features,
+        labels)`` ordered by id. All-columnar tables assemble the
+        matrix with one concatenate + argsort over the stored blocks;
+        legacy tables fall back to row collect + sort. Driver memory is
+        charged exactly as :meth:`DistributedTable.collect` does —
+        crash scenario (4) accounting is unchanged."""
+        blocks = []
+        for partition in vectors.partitions:
+            block = partition.block()
+            if block is None or (
+                block.num_rows and not (
+                    block.is_array("id") and block.is_array("label")
+                    and block.is_array("x")
+                )
+            ):
+                blocks = None
+                break
+            if block.num_rows:
+                blocks.append(block)
+        if blocks is None:
+            rows = vectors.collect()
+            rows.sort(key=lambda row: row["id"])
+            features = np.stack([row["x"] for row in rows])
+            labels = np.array(
+                [row["label"] for row in rows], dtype=np.int64
+            )
+            return features, labels
+        nbytes = vectors.memory_bytes()
+        self.tracer.add("collect_bytes", nbytes)
+        self.context.driver.charge(
+            Region.DRIVER, nbytes, what=f"collect of {vectors.name}"
+        )
+        try:
+            ids = np.concatenate([b.column("id") for b in blocks])
+            order = np.argsort(ids, kind="stable")
+            features = np.concatenate(
+                [b.column("x") for b in blocks]
+            )[order]
+            labels = np.concatenate(
+                [b.column("label") for b in blocks]
+            )[order].astype(np.int64, copy=False)
+            return features, labels
+        finally:
+            self.context.driver.release(Region.DRIVER, nbytes)
 
     def _finalize_metrics(self):
         context = self.context
@@ -649,6 +857,7 @@ class FeatureTransferExecutor:
         region_budgets["driver"] = context.driver.capacity(Region.DRIVER)
         self.metrics.update(
             {
+                "batched_fallback_total": self._batched_fallbacks,
                 "shuffle_bytes": getattr(context, "shuffle_bytes_total", 0),
                 "spilled_bytes": context.total_spilled_bytes(),
                 "spill_read_bytes": context.total_spill_read_bytes(),

@@ -118,6 +118,27 @@ def estimate_sizes_from_cnn(cnn, layers, dataset_stats, alpha=2.0):
     return estimates
 
 
+def columnar_intermediate_bytes(cnn, layer, dataset_stats):
+    """*Exact* columnar bytes of the layer's joined train table — the
+    measured counterpart of :func:`estimate_sizes_from_cnn`'s Eq. 16
+    upper bound.
+
+    Under the columnar partition layout (``repro.dataflow.columnar``)
+    the joined table {id, features, label, tensor} stores two int64
+    scalar columns plus two float32 tensor columns, so its size is
+    fully determined: ``n x (16 + 4 x (n_str + |flat|))``. Tests pin
+    the traced measurement to this number bit-exactly; Eq. 16's alpha
+    then reads as the estimate-to-exact safety factor.
+    """
+    flat_dim = 1
+    for dim in cnn.output_shape_of(layer):
+        flat_dim *= dim
+    per_record = 16 + 4 * (
+        dataset_stats.num_structured_features + flat_dim
+    )
+    return dataset_stats.num_records * per_record
+
+
 def eager_table_bytes(model_stats, layers, dataset_stats, alpha=2.0):
     """Size of the Eager plan's all-layers-at-once table: one record
     holds the TensorList of *every* layer in L."""

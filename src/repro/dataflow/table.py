@@ -8,6 +8,9 @@ the workload the paper studies materializes its intermediates anyway.
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.dataflow.columnar import ColumnarBlock
 from repro.dataflow.partition import DESERIALIZED, Partition
 from repro.dataflow.record import estimate_record_bytes, estimate_rows_bytes
 from repro.dataflow.executor import run_partition_tasks
@@ -117,6 +120,54 @@ class DistributedTable:
                 sp.add("bytes_out", result.memory_bytes())
         return result
 
+    def map_blocks(self, block_fn, row_fn=None, name=None, user_alpha=1.0):
+        """Apply ``block_fn(block) -> block`` per columnar partition —
+        the zero-copy batched path: the UDF reads the stored column
+        arrays in place and returns a new
+        :class:`~repro.dataflow.columnar.ColumnarBlock`.
+
+        Legacy row partitions route through ``row_fn(rows) -> rows``
+        when given (otherwise their rows are packed into a block
+        first). Wave-based User Memory accounting matches
+        :meth:`map_partitions`, but columnar outputs are charged their
+        *exact* buffer bytes instead of the per-record estimate.
+        """
+        def task(partition):
+            block = partition.block()
+            if block is not None:
+                return block_fn(block)
+            if row_fn is not None:
+                return list(row_fn(partition.rows()))
+            return block_fn(ColumnarBlock.from_rows(partition.rows()))
+
+        def charge(partition, out):
+            if isinstance(out, ColumnarBlock):
+                return int(user_alpha * out.nbytes)
+            return int(user_alpha * estimate_rows_bytes(out))
+
+        tracer = getattr(self.context, "tracer", NULL_TRACER)
+        with tracer.span(f"map:{name or self.name}", table=self.name) as sp:
+            outputs = run_partition_tasks(
+                self.context, self.partitions, task, region=Region.USER,
+                charge_fn=charge, what=f"map over {self.name}",
+            )
+            partitions = [
+                Partition.from_block(p.index, out)
+                if isinstance(out, ColumnarBlock)
+                else Partition.from_rows(p.index, out)
+                for p, out in zip(self.partitions, outputs)
+            ]
+            result = DistributedTable(
+                self.context, partitions, name=name, key=self.key,
+                lineage=("map", self.name),
+            )
+            if tracer.enabled:
+                sp.set("out_table", result.name)
+                sp.add("rows_in", self.num_rows())
+                sp.add("rows_out", result.num_rows())
+                sp.add("bytes_out", result.memory_bytes())
+        return result
+
     def project(self, fields, name=None):
         """Keep only ``fields`` (the key is always kept)."""
         keep = list(dict.fromkeys([self.key, *fields]))
@@ -137,25 +188,76 @@ class DistributedTable:
         num_partitions = max(1, int(num_partitions))
         tracer = getattr(self.context, "tracer", NULL_TRACER)
         with tracer.span(f"shuffle:{self.name}", table=self.name) as sp:
-            buckets = [[] for _ in range(num_partitions)]
-            shuffled = 0
-            for partition in self.partitions:
-                for row in partition.rows():
-                    bucket = hash(row[self.key]) % num_partitions
-                    buckets[bucket].append(row)
-                    shuffled += estimate_record_bytes(row)
+            from repro.dataflow.columnar import NotColumnar
+
+            try:
+                partitions, shuffled, num_rows = self._shuffle_columnar(
+                    num_partitions
+                )
+            except NotColumnar:   # mixed schemas across partitions
+                partitions = None
+            if partitions is None:
+                partitions, shuffled, num_rows = self._shuffle_rows(
+                    num_partitions
+                )
             _meter_shuffle(self.context, shuffled)
-            sp.add("rows", sum(len(b) for b in buckets))
+            sp.add("rows", num_rows)
             sp.add("shuffle_bytes", shuffled)
             sp.add("partitions", num_partitions)
-            partitions = [
-                Partition.from_rows(index, bucket)
-                for index, bucket in enumerate(buckets)
-            ]
             return DistributedTable(
                 self.context, partitions, name=name, key=self.key,
                 lineage=("shuffle", self.name),
             )
+
+    def _shuffle_columnar(self, num_partitions):
+        """Vectorized hash partitioning: one modulo over each
+        partition's key column and one fancy-index gather per bucket.
+        Returns ``(None, 0, 0)`` when any partition is legacy rows or
+        the key column is not integer-typed (``hash(i) == i`` for the
+        non-negative integer keys this engine uses, so the bucket
+        assignment is bit-identical to the row path's)."""
+        per_bucket = [[] for _ in range(num_partitions)]
+        shuffled = 0
+        num_rows = 0
+        for partition in self.partitions:
+            block = partition.block()
+            if block is None:
+                return None, 0, 0
+            if block.num_rows == 0:
+                continue
+            if not block.has_column(self.key) \
+                    or not block.is_array(self.key):
+                return None, 0, 0
+            keys = block.column(self.key)
+            if not np.issubdtype(keys.dtype, np.integer) \
+                    or (keys.size and int(keys.min()) < 0):
+                return None, 0, 0
+            buckets = keys % num_partitions
+            shuffled += block.nbytes
+            num_rows += block.num_rows
+            for bucket in np.unique(buckets):
+                indices = np.nonzero(buckets == bucket)[0]
+                per_bucket[int(bucket)].append(block.take(indices))
+        partitions = [
+            Partition.from_block(index, ColumnarBlock.concat(blocks))
+            for index, blocks in enumerate(per_bucket)
+        ]
+        return partitions, shuffled, num_rows
+
+    def _shuffle_rows(self, num_partitions):
+        """Legacy per-row hash partitioning."""
+        buckets = [[] for _ in range(num_partitions)]
+        shuffled = 0
+        for partition in self.partitions:
+            for row in partition.rows():
+                bucket = hash(row[self.key]) % num_partitions
+                buckets[bucket].append(row)
+                shuffled += estimate_record_bytes(row)
+        partitions = [
+            Partition.from_rows(index, bucket)
+            for index, bucket in enumerate(buckets)
+        ]
+        return partitions, shuffled, sum(len(b) for b in buckets)
 
     def cache(self, persistence=DESERIALIZED):
         """Persist every partition in its worker's Storage region."""

@@ -4,8 +4,10 @@ What-if answers need a *prediction* of the waterline peaks a plan will
 produce on the engine — before running it. Eqs. 10-11 bound the paper
 -scale deployment, but the executable mini runs charge memory through
 the engine's exact wave arithmetic, so this module replicates that
-arithmetic symbolically: Tungsten-format row sizes
-(:mod:`repro.dataflow.record`), round-robin/hash partition placement,
+arithmetic symbolically: columnar-exact row sizes (int64 scalar
+columns plus raw float32 tensor buffers, matching
+:attr:`repro.dataflow.columnar.ColumnarBlock.nbytes`),
+round-robin/hash partition placement,
 ``index % num_nodes`` worker assignment, and per-wave concurrent
 charges of ``cpu`` tasks — walked through the same stage sequence the
 :class:`~repro.core.executor.FeatureTransferExecutor` runs for each of
@@ -218,28 +220,32 @@ def predict_workload_peaks(cnn, dataset, layers, config, plan,
     sum_flat = sum(flat.values())
     num_layers = len(layers)
 
-    # Tungsten-format row bytes (see repro.dataflow.record): 8-byte
-    # null bitmap + an 8-byte slot per field + variable payloads.
-    row_tstr = 32 + 4 * n_str                      # {id, features, label}
-    row_timg = 24 + image_bytes                    # {id, image}
-    row_base = 40 + 4 * n_str + image_bytes        # joined tstr x timg
+    # Columnar-exact row bytes (see repro.dataflow.columnar): scalar
+    # int columns are int64 (8 B/row), tensor columns their raw float32
+    # buffers — no per-field slots or null bitmap. Only the eager
+    # TensorList column is an object column, priced at the Appendix A
+    # per-value estimate plus its 8-byte variable-length header.
+    row_tstr = 16 + 4 * n_str                      # {id, features, label}
+    row_timg = 8 + image_bytes                     # {id, image}
+    row_base = 16 + 4 * n_str + image_bytes        # joined tstr x timg
 
     def row_feature(layer, keep):
         if keep:   # {id, features, label, tensor}
-            return 40 + 4 * (n_str + flat[layer])
-        return 24 + 4 * flat[layer]                # {id, tensor}
+            return 16 + 4 * (n_str + flat[layer])
+        return 8 + 4 * flat[layer]                 # {id, tensor}
 
     def row_eager(keep):
-        payload = 4 * sum_flat + 8 * num_layers    # TensorList column
+        # object column: header + member tensors + per-member headers
+        payload = 8 + 4 * sum_flat + 8 * num_layers
         if keep:   # {id, features, label, tensors}
-            return 40 + 4 * n_str + payload
-        return 24 + payload                        # {id, tensors}
+            return 16 + 4 * n_str + payload
+        return 8 + payload                         # {id, tensors}
 
     def row_joined(layer):
-        return 40 + 4 * (n_str + flat[layer])
+        return 16 + 4 * (n_str + flat[layer])
 
     def row_vector(layer):                         # {id, label, x}
-        return 32 + 4 * (n_str + pooled[layer])
+        return 16 + 4 * (n_str + pooled[layer])
 
     sim = _PlanSimulator(
         num_nodes=num_nodes, cpu=cpu,

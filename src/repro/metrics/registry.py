@@ -58,8 +58,18 @@ class _Instrument:
         self.samples = []  # [sim_time, tick, value]
 
     def _append(self, value):
+        # Hot path (every charge/release/inc lands here): the clock
+        # read and tick bump are inlined rather than going through
+        # _now()/_next_tick() — the call overhead alone is measurable
+        # against the 5% metrics-overhead budget bench_kernels gates.
         registry = self.registry
-        self.samples.append([registry._now(), registry._next_tick(), value])
+        clock = registry.clock
+        registry._tick += 1
+        self.samples.append([
+            clock.now if clock is not None else 0.0,
+            registry._tick,
+            value,
+        ])
         if len(self.samples) > registry.max_samples:
             self._compact()
 
@@ -264,7 +274,8 @@ class MetricsRegistry:
         return self._tick
 
     def _get(self, cls, name, labels, **extra):
-        labels = {**self.base_labels, **labels}
+        if self.base_labels:
+            labels = {**self.base_labels, **labels}
         key = (cls.kind, name, _label_key(labels))
         instrument = self._instruments.get(key)
         if instrument is None:

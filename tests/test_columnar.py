@@ -1,0 +1,342 @@
+"""Columnar partition layout: round-trip properties, wire format,
+exact sizing, and the ragged/TensorList batching path.
+
+Covers the zero-copy contract of ``repro.dataflow.columnar``:
+``column()`` returns stored buffers, row views alias them, and the
+single-buffer wire format reconstructs bit-identical values for every
+supported dtype — including object columns (ragged images, strings,
+TensorLists) and empty partitions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.columnar import (
+    MAGIC,
+    ColumnarBlock,
+    NotColumnar,
+    columnar_enabled,
+    is_columnar_buffer,
+    pack_column,
+    row_layout,
+)
+from repro.dataflow.partition import DESERIALIZED, SERIALIZED, Partition
+from repro.tensor.tensorlist import TensorList
+
+
+def _assert_rows_equal(actual, expected):
+    assert len(actual) == len(expected)
+    for got, want in zip(actual, expected):
+        assert set(got) == set(want)
+        for name, value in want.items():
+            if isinstance(value, TensorList):
+                assert isinstance(got[name], TensorList)
+                assert len(got[name]) == len(value)
+                for a, b in zip(got[name], value):
+                    np.testing.assert_array_equal(a, b)
+            elif isinstance(value, np.ndarray):
+                np.testing.assert_array_equal(got[name], value)
+                assert got[name].dtype == value.dtype
+            else:
+                assert got[name] == value
+
+
+# ----------------------------------------------------------------------
+# round-trip properties over all supported dtypes
+# ----------------------------------------------------------------------
+_dtype_strategy = st.sampled_from(
+    [np.float32, np.float64, np.int32, np.int64, np.uint8]
+)
+
+
+@st.composite
+def _uniform_rows(draw):
+    """Uniform-schema rows with a scalar int, a float, a bool, a
+    string, and one tensor column of a drawn dtype/shape."""
+    n = draw(st.integers(min_value=0, max_value=6))
+    dtype = draw(_dtype_strategy)
+    shape = draw(
+        st.sampled_from([(3,), (2, 2), (4, 4, 3), (1,)])
+    )
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    rows = []
+    for i in range(n):
+        tensor = (rng.normal(size=shape) * 10).astype(dtype)
+        rows.append({
+            "id": i,
+            "score": float(i) / 2.0,
+            "flag": bool(i % 2),
+            "tag": f"tag-{i}",
+            "x": tensor,
+        })
+    return rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=_uniform_rows())
+def test_columnar_row_roundtrip_property(rows):
+    block = ColumnarBlock.from_rows(rows)
+    assert block.num_rows == len(rows)
+    _assert_rows_equal(block.to_rows(), rows)
+    # wire round-trip preserves values and dtypes bit-exactly
+    restored = ColumnarBlock.from_buffer(block.to_buffer())
+    _assert_rows_equal(restored.to_rows(), rows)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=_uniform_rows(), seed=st.integers(0, 2**16))
+def test_take_concat_roundtrip_property(rows, seed):
+    block = ColumnarBlock.from_rows(rows)
+    if block.num_rows == 0:
+        assert ColumnarBlock.concat([block]).num_rows == 0
+        return
+    rng = np.random.default_rng(seed)
+    indices = rng.permutation(block.num_rows)
+    shuffled = block.take(indices)
+    _assert_rows_equal(
+        shuffled.to_rows(), [rows[i] for i in indices]
+    )
+    halves = [
+        block.take(np.arange(0, block.num_rows, 2)),
+        block.take(np.arange(1, block.num_rows, 2)),
+    ]
+    merged = ColumnarBlock.concat(halves)
+    expected = [rows[i] for i in range(0, len(rows), 2)]
+    expected += [rows[i] for i in range(1, len(rows), 2)]
+    _assert_rows_equal(merged.to_rows(), expected)
+
+
+def test_empty_partition_roundtrip():
+    part = Partition.from_rows(0, [])
+    assert len(part) == 0
+    blob = part.serialized_blob()
+    restored = Partition(0, blob=blob)
+    assert len(restored) == 0
+    assert restored.rows() == []
+
+
+def test_ragged_images_stay_object_column_and_roundtrip():
+    rng = np.random.default_rng(0)
+    rows = [
+        {"id": i,
+         "image": rng.normal(size=(4 + i, 4, 3)).astype(np.float32)}
+        for i in range(4)
+    ]
+    block = ColumnarBlock.from_rows(rows)
+    assert not block.is_array("image")
+    assert block.is_array("id")
+    _assert_rows_equal(block.to_rows(), rows)
+    restored = ColumnarBlock.from_buffer(block.to_buffer())
+    _assert_rows_equal(restored.to_rows(), rows)
+
+
+def test_tensorlist_column_roundtrips_through_partition():
+    members = [np.ones((2, 2), dtype=np.float32),
+               np.zeros((3,), dtype=np.float32)]
+    rows = [{"id": i, "tensors": TensorList(list(members))}
+            for i in range(3)]
+    part = Partition.from_rows(0, rows)
+    assert part.is_columnar
+    restored = Partition(0, blob=part.serialized_blob())
+    _assert_rows_equal(restored.rows(), rows)
+
+
+def test_mixed_schema_rows_fall_back_to_legacy_layout():
+    rows = [{"id": 0, "a": 1}, {"id": 1, "b": 2}]
+    with pytest.raises(NotColumnar):
+        ColumnarBlock.from_rows(rows)
+    part = Partition.from_rows(0, rows)
+    assert not part.is_columnar
+    assert part.rows() == rows
+    restored = Partition(0, blob=part.serialized_blob())
+    assert restored.rows() == rows
+
+
+# ----------------------------------------------------------------------
+# zero-copy contract
+# ----------------------------------------------------------------------
+def test_column_and_row_views_alias_stored_buffers():
+    rows = [
+        {"id": i, "x": np.full((2, 2), float(i), dtype=np.float32)}
+        for i in range(4)
+    ]
+    block = ColumnarBlock.from_rows(rows)
+    column = block.column("x")
+    assert block.column("x") is column  # the stored array itself
+    views = block.to_rows()
+    for i, row in enumerate(views):
+        assert row["x"].base is column  # row views alias the buffer
+        np.testing.assert_array_equal(row["x"], rows[i]["x"])
+
+
+def test_from_buffer_arrays_are_zero_copy_views():
+    rows = [{"id": i, "x": np.arange(6, dtype=np.float32)}
+            for i in range(3)]
+    data = ColumnarBlock.from_rows(rows).to_buffer()
+    restored = ColumnarBlock.from_buffer(data)
+    column = restored.column("x")
+    assert column.base is not None  # frombuffer view, not a copy
+    assert not column.flags.writeable  # read-only per the contract
+
+
+# ----------------------------------------------------------------------
+# wire format
+# ----------------------------------------------------------------------
+def test_wire_format_layout_and_magic():
+    rows = [{"id": i, "x": np.arange(4, dtype=np.float32)}
+            for i in range(2)]
+    data = ColumnarBlock.from_rows(rows).to_buffer()
+    assert data[:4] == MAGIC
+    assert is_columnar_buffer(data)
+    header_len = int.from_bytes(data[4:8], "little")
+    import json
+    header = json.loads(data[8:8 + header_len])
+    assert header["n"] == 2
+    body_len = sum(col["len"] for col in header["cols"])
+    assert len(data) == 8 + header_len + body_len
+
+
+def test_wire_format_is_deterministic_for_array_blocks():
+    def encode():
+        rows = [{"id": i, "x": np.arange(8, dtype=np.float32) + i}
+                for i in range(4)]
+        return ColumnarBlock.from_rows(rows).to_buffer()
+
+    assert encode() == encode()
+
+
+def test_single_buffer_encode_smaller_than_n_pickles():
+    import pickle
+
+    rng = np.random.default_rng(1)
+    rows = [
+        {"id": i, "x": rng.normal(size=50).astype(np.float32)}
+        for i in range(64)
+    ]
+    single = len(ColumnarBlock.from_rows(rows).to_buffer())
+    n_pickles = sum(
+        len(pickle.dumps(row, protocol=pickle.HIGHEST_PROTOCOL))
+        for row in rows
+    )
+    assert single < n_pickles
+
+
+# ----------------------------------------------------------------------
+# sizing + layout flag
+# ----------------------------------------------------------------------
+def test_nbytes_is_exact_buffer_sum():
+    rows = [
+        {"id": i, "x": np.zeros((3, 3), dtype=np.float64)}
+        for i in range(5)
+    ]
+    block = ColumnarBlock.from_rows(rows)
+    assert block.nbytes == 5 * 8 + 5 * 9 * 8
+
+
+def test_serialized_vs_deserialized_partition_sizes():
+    rng = np.random.default_rng(2)
+    rows = [
+        {"id": i, "x": rng.normal(size=200).astype(np.float32)}
+        for i in range(32)
+    ]
+    part = Partition.from_rows(0, rows)
+    assert part.memory_bytes(SERIALIZED) < part.memory_bytes(DESERIALIZED)
+
+
+def test_row_layout_context_manager_restores_flag():
+    assert columnar_enabled()
+    with row_layout():
+        assert not columnar_enabled()
+        part = Partition.from_rows(0, [{"id": 1}])
+        assert not part.is_columnar
+    assert columnar_enabled()
+
+
+def test_pack_column_classification():
+    assert isinstance(pack_column([1, 2, 3]), np.ndarray)
+    assert pack_column([1, 2, 3]).dtype == np.int64
+    assert isinstance(pack_column(["a", "b"]), list)
+    stacked = pack_column([np.zeros((2,), dtype=np.float32)] * 3)
+    assert isinstance(stacked, np.ndarray) and stacked.shape == (3, 2)
+    ragged = pack_column([np.zeros((2,)), np.zeros((3,))])
+    assert isinstance(ragged, list)
+
+
+# ----------------------------------------------------------------------
+# ragged batching + fallback metric
+# ----------------------------------------------------------------------
+def _ragged_executor(dataset, metrics=None, num_partitions=2):
+    from repro.cnn import build_model
+    from repro.core.config import VistaConfig
+    from repro.core.executor import FeatureTransferExecutor
+    from repro.dataflow.context import local_context
+
+    model = build_model("alexnet", profile="mini")
+    ctx = local_context(num_nodes=2, cores_per_node=4, cpu=2)
+    return FeatureTransferExecutor(
+        ctx, model, dataset, ["fc7"], VistaConfig(
+            cpu=2, num_partitions=num_partitions,
+            mem_storage_bytes=10**9, mem_user_bytes=10**9,
+            mem_dl_bytes=10**9, join="shuffle",
+            persistence="deserialized",
+        ),
+        downstream_fn=lambda f, l: {}, metrics=metrics,
+    )
+
+
+def test_tensorlist_dataset_batches_without_fallbacks():
+    """TensorList members all share the image shape, so every member
+    joins one shape group and the fallback counter stays at zero."""
+    from repro.core.plans import LAZY
+    from repro.data.synthetic import generate_dataset
+    from repro.metrics import MetricsRegistry
+
+    dataset = generate_dataset(
+        "ragged", num_records=12, num_structured_features=16,
+        images_per_record=2, seed=9,
+    )
+    registry = MetricsRegistry()
+    result = _ragged_executor(dataset, metrics=registry).run(LAZY)
+    assert result.metrics["batched_fallback_total"] == 0
+    counters = registry.instruments("batched_fallback_total")
+    assert sum(c.total for c in counters) == 0
+
+
+def test_singleton_shape_group_counts_as_fallback():
+    """A shape with nothing to batch against runs per-tensor and is
+    counted in ``batched_fallback_total``."""
+    from repro.data import foods_dataset
+
+    executor = _ragged_executor(foods_dataset(num_records=4))
+    model = executor.cnn
+    rng = np.random.default_rng(3)
+    shape = model.input_shape
+    lone = rng.normal(size=shape).astype(np.float32)
+    outputs = executor._infer_ragged([lone], None, "fc7")
+    assert executor._batched_fallbacks == 1
+    np.testing.assert_array_equal(
+        outputs[0], model.partial_forward(lone, 0, "fc7")
+    )
+
+
+def test_infer_ragged_matches_per_tensor_path():
+    """Shape-grouped batched inference is bit-identical to running
+    each tensor through the per-tensor kernel, TensorLists included."""
+    from repro.data import foods_dataset
+
+    executor = _ragged_executor(foods_dataset(num_records=4))
+    model = executor.cnn
+    rng = np.random.default_rng(3)
+    shape = model.input_shape
+    values = [rng.normal(size=shape).astype(np.float32) for _ in range(5)]
+    values.append(TensorList([values[0].copy(), values[1].copy()]))
+    outputs = executor._infer_ragged(values, None, "fc7")
+    for value, out in zip(values[:5], outputs[:5]):
+        np.testing.assert_array_equal(
+            out, model.partial_forward(value, 0, "fc7")
+        )
+    assert isinstance(outputs[5], TensorList)
+    np.testing.assert_array_equal(outputs[5][0], outputs[0])
+    np.testing.assert_array_equal(outputs[5][1], outputs[1])

@@ -52,12 +52,40 @@ def test_drop_blob():
     assert part.memory_bytes(DESERIALIZED) > 0
 
 
-def test_memory_bytes_deserialized_uses_record_estimates():
+def test_memory_bytes_deserialized_exact_for_columnar():
+    rows = _rows(4)
+    part = Partition.from_rows(0, rows)
+    assert part.is_columnar
+    # Exact buffer bytes: 4 int64 ids + 4 x (50,) float32 vectors.
+    assert part.memory_bytes(DESERIALIZED) == 4 * 8 + 4 * 50 * 4
+
+
+def test_memory_bytes_deserialized_heuristic_for_legacy_rows():
+    from repro.dataflow.columnar import row_layout
     from repro.dataflow.record import estimate_rows_bytes
 
     rows = _rows(4)
-    part = Partition.from_rows(0, rows)
+    with row_layout():
+        part = Partition.from_rows(0, rows)
+    assert not part.is_columnar
     assert part.memory_bytes(DESERIALIZED) == estimate_rows_bytes(rows)
+
+
+def test_exact_vs_heuristic_agreement_band():
+    """The Appendix A per-record heuristic should stay within a small
+    constant-per-row envelope of the exact columnar bytes: it adds an
+    8-byte fixed slot per scalar field and an 8-byte variable-length
+    header per tensor field that the columnar layout does not pay, so
+    the heuristic over-reports by 16 bytes/row on an (id, tensor) row
+    and never under-reports."""
+    from repro.dataflow.columnar import row_layout
+    from repro.dataflow.record import estimate_rows_bytes
+
+    for n in (1, 4, 64):
+        rows = _rows(n)
+        exact = Partition.from_rows(0, rows).memory_bytes(DESERIALIZED)
+        heuristic = estimate_rows_bytes(rows)
+        assert exact <= heuristic <= exact + 24 * n
 
 
 def test_len(ctx=None):

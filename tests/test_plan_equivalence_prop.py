@@ -126,6 +126,29 @@ def test_all_plans_equivalent(seed):
 
 
 @pytest.mark.parametrize("seed", SEEDS[:6])
+def test_columnar_layout_is_bit_identical_to_row_layout(seed):
+    """The columnar partition layout is purely a physical change: every
+    logical plan's feature matrices are bit-identical to the same plan
+    run on the legacy row-list layout."""
+    from repro.dataflow.columnar import columnar_enabled, row_layout
+
+    assert columnar_enabled()
+    _, model, layers, dataset, config = workload_from_seed(seed)
+    for name, plan in ALL_PLANS.items():
+        columnar = _run_plan(model, dataset, layers, config, plan)
+        with row_layout():
+            legacy = _run_plan(model, dataset, layers, config, plan)
+        for layer in columnar.layer_results:
+            assert np.array_equal(
+                columnar.layer_results[layer].downstream["matrix"],
+                legacy.layer_results[layer].downstream["matrix"],
+            ), (
+                f"seed {seed}: plan {name} diverged between columnar "
+                f"and row layouts on layer {layer}"
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
 def test_plans_equivalent_under_tracing(seed):
     """Tracing must be purely observational: a traced run's features
     are bit-identical to the untraced run's."""

@@ -9,10 +9,11 @@ measured bytes of each joined per-layer train table in the trace's
 ``sizing`` attribute.
 
 Documented tolerance: ``1.0 <= estimated / measured <= alpha`` with
-``alpha = 2.0`` (the JVM-blowup fudge factor). The simulated engine's
-row overheads are real but smaller than a JVM's, so the estimate must
-bound the measurement from above without exceeding the full alpha
-blowup. Observed ratios across the roster sit in [1.10, 1.67].
+``alpha = 2.0`` (the JVM-blowup fudge factor). The measured side is
+the *exact* columnar buffer bytes (no per-record slot overhead at
+all), so the estimate must bound the measurement from above without
+exceeding the full alpha blowup. Observed ratios across the roster
+sit in [1.15, 1.69].
 """
 
 import pytest
@@ -96,6 +97,28 @@ def test_measured_bytes_match_traced_train_counters():
         span = result.trace.find(f"train:{layer}")
         assert span is not None
         assert span.counters["bytes_in"] == entry["measured_bytes"]
+
+
+def test_measured_bytes_are_exact_columnar_sizes():
+    """Columnar partitions make the measured side deterministic: the
+    traced train-table bytes equal the closed-form columnar size
+    n x (16 + 4 x (n_str + |flat|)) bit-exactly."""
+    from repro.core.sizing import columnar_intermediate_bytes
+    from repro.data import foods_dataset
+
+    records = 24
+    model = build_model("alexnet", profile="mini")
+    dataset = foods_dataset(num_records=records)
+    stats = DatasetStats(
+        num_records=records,
+        num_structured_features=dataset.num_structured_features,
+        avg_image_bytes=int(dataset.image_rows[0]["image"].nbytes),
+    )
+    sizing, _ = _traced_sizing("alexnet", 2, records)
+    for layer, entry in sizing.items():
+        assert entry["measured_bytes"] == columnar_intermediate_bytes(
+            model, layer, stats
+        )
 
 
 def test_estimate_formula_matches_eq16():
