@@ -33,6 +33,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import tempfile
 
 import numpy as np
 
@@ -44,6 +45,7 @@ from repro.core.api import Vista, default_resources  # noqa: E402
 from repro.data import foods_dataset  # noqa: E402
 from repro.faults import FaultPlan  # noqa: E402
 from repro.metrics import MetricsRegistry, merge_exports  # noqa: E402
+from repro.recovery import CheckpointStore  # noqa: E402
 from repro.trace import Tracer  # noqa: E402
 
 RESULT_PATH = os.path.join(
@@ -55,20 +57,33 @@ SEED = 7
 
 
 def _scenarios():
-    """label -> FaultPlan factory (fresh plan per run: the injector
-    tracks firing budgets per rule object)."""
+    """label -> (FaultPlan factory, needs_checkpoint_store). A fresh
+    plan per run: the injector tracks firing budgets per rule object.
+    The ``ckpt-*`` scenarios kill *both* workers mid-materialization
+    (waves 5 and 6 — the train stage, after the inference stage's
+    checkpoints committed), which is fatal without a store
+    (ClusterExhausted is non-retryable); with a store the supervisor
+    resumes from the checkpoints instead of degrading."""
+    both_workers_lost = lambda: (  # noqa: E731
+        FaultPlan()
+        .worker_loss(worker=None, wave=5)
+        .worker_loss(worker=None, wave=6)
+    )
     return {
-        "fault-free": lambda: None,
-        "task-crash": lambda: FaultPlan().task_crash(
+        "fault-free": (lambda: None, False),
+        "task-crash": (lambda: FaultPlan().task_crash(
             partition=1, attempt=1, times=3
-        ),
-        "oom-degrade": lambda: FaultPlan().task_oom(
+        ), False),
+        "oom-degrade": (lambda: FaultPlan().task_oom(
             partition=0, attempt=None, times=4
-        ),
-        "worker-loss": lambda: FaultPlan().worker_loss(worker=1),
-        "straggler": lambda: FaultPlan().straggler(
+        ), False),
+        "worker-loss": (lambda: FaultPlan().worker_loss(worker=1), False),
+        "straggler": (lambda: FaultPlan().straggler(
             partition=2, delay_s=30.0
-        ),
+        ), False),
+        "ckpt-resume": (both_workers_lost, True),
+        "ckpt-corrupt-resume": (lambda: both_workers_lost()
+                                .checkpoint_corrupt(partition=0), True),
     }
 
 
@@ -82,14 +97,19 @@ def make_vista(records):
 
 
 def run_scenario(label, plan_factory, records, repeats, baseline_matrices,
-                 tracer):
+                 tracer, with_checkpoints=False):
     """Run one fault scenario ``repeats`` times under ``scenario:``
     spans; the final repeat threads the tracer through the supervisor
-    so its attempt/degrade structure lands in the trace."""
+    so its attempt/degrade structure lands in the trace. With
+    ``with_checkpoints``, each repeat gets a fresh checkpoint store in
+    a scratch directory (one supervisor call covers the crash *and*
+    the resume, so the store's saved ratio is the scenario's
+    recomputation-saved measure)."""
     scenario_spans = []
     deep_span = None
     result = None
     metrics = None
+    store = None
     for repeat in range(repeats):
         vista = make_vista(records)
         plan = plan_factory()
@@ -97,13 +117,18 @@ def run_scenario(label, plan_factory, records, repeats, baseline_matrices,
         tracer.clock = None  # each scenario brings a fresh injector clock
         if deep:
             metrics = MetricsRegistry(base_labels={"scenario": label})
+        scratch = tempfile.TemporaryDirectory() if with_checkpoints else None
+        store = CheckpointStore(scratch.name) if with_checkpoints else None
         with tracer.span(f"scenario:{label}", repeat=repeat,
                          traced_run=deep) as sp:
             result = vista.run_resilient(
                 fault_plan=plan, seed=SEED,
                 tracer=tracer if deep else None,
                 metrics=metrics if deep else None,
+                checkpoint_store=store,
             )
+        if scratch is not None:
+            scratch.cleanup()
         scenario_spans.append(sp)
         if deep:
             deep_span = sp
@@ -138,6 +163,15 @@ def run_scenario(label, plan_factory, records, repeats, baseline_matrices,
         "task_retries": count("task_retry"),
         "blacklists": count("blacklist"),
         "degrades": trace_degrades,
+        "resumes": count("resume"),
+        "restored_partitions": result.metrics.get("restore_total", 0),
+        "checkpoint_bytes": result.metrics.get("checkpoint_bytes", 0),
+        "checkpoint_corruptions_detected": result.metrics.get(
+            "checkpoint_corrupt_total", 0
+        ),
+        "recomputation_saved_ratio": result.metrics.get(
+            "recomputation_saved_ratio", 0.0
+        ),
         "sim_recovery_seconds": result.metrics.get("sim_time_s", 0.0),
         "faults_injected": result.metrics.get("faults_injected", {}),
     }
@@ -150,6 +184,10 @@ def main(argv=None):
                         help="fewer repeats; skip writing the result file")
     parser.add_argument("--records", type=int, default=48)
     parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--out", default=None,
+                        help="write the result envelope to this path even "
+                             "under --quick (the CI regression gate "
+                             "compares it against the committed file)")
     args = parser.parse_args(argv)
     repeats = args.repeats or (1 if args.quick else 5)
 
@@ -161,10 +199,10 @@ def main(argv=None):
     tracer = Tracer(name="bench_recovery")
     results = []
     scenario_metrics = []
-    for label, factory in _scenarios().items():
+    for label, (factory, with_checkpoints) in _scenarios().items():
         row, metrics = run_scenario(
             label, factory, args.records, repeats, baseline_matrices,
-            tracer,
+            tracer, with_checkpoints=with_checkpoints,
         )
         results.append(row)
         scenario_metrics.append(metrics.export())
@@ -181,7 +219,7 @@ def main(argv=None):
         f"Recovery overhead ({args.records} records, repeats={repeats}, "
         f"seed={SEED}; features bit-identical in every scenario)",
         ["scenario", "wall s", "overhead", "attempts", "retries",
-         "blacklists", "degrades", "sim s"],
+         "blacklists", "degrades", "resumes", "saved", "sim s"],
         [
             (
                 r["scenario"],
@@ -191,6 +229,8 @@ def main(argv=None):
                 r["task_retries"],
                 r["blacklists"],
                 r["degrades"],
+                r["resumes"],
+                f"{r['recomputation_saved_ratio']:.2f}",
                 f"{r['sim_recovery_seconds']:.1f}",
             )
             for r in results
@@ -203,16 +243,35 @@ def main(argv=None):
     assert by_scenario["oom-degrade"]["workload_attempts"] == 2
     assert by_scenario["worker-loss"]["blacklists"] == 1
     assert by_scenario["straggler"]["sim_recovery_seconds"] >= 30.0
-    # recovery re-executes work: faulty scenarios never run fewer tasks
-    assert all(r["tasks_run"] >= base_tasks for r in results)
+    # The checkpointed scenarios resume instead of degrading, restore a
+    # strict subset of the work, and recompute the rest.
+    for label in ("ckpt-resume", "ckpt-corrupt-resume"):
+        row = by_scenario[label]
+        assert row["resumes"] >= 1, f"{label}: supervisor never resumed"
+        assert row["degrades"] == 0, f"{label}: resume should beat degrade"
+        assert row["restored_partitions"] > 0
+        assert 0.0 < row["recomputation_saved_ratio"] < 1.0
+    assert by_scenario["ckpt-corrupt-resume"][
+        "checkpoint_corruptions_detected"] >= 1, (
+        "injected corruption must be detected, never silently ingested"
+    )
+    # Lineage-only recovery re-executes work: the non-checkpointed
+    # faulty scenarios never run fewer tasks than the clean run. The
+    # ckpt-* scenarios are exempt by design — restored partitions never
+    # become tasks, which is the whole point of durable checkpoints.
+    assert all(
+        r["tasks_run"] >= base_tasks
+        for r in results if not r["scenario"].startswith("ckpt-")
+    )
 
-    if not args.quick:
-        write_results(RESULT_PATH, trace_payload(
+    out_path = args.out or RESULT_PATH
+    if args.out or not args.quick:
+        write_results(out_path, trace_payload(
             "recovery", results, trace=tracer,
             metrics=merge_exports(*scenario_metrics),
             records=args.records, repeats=repeats, seed=SEED,
         ))
-        print(f"\nwrote {RESULT_PATH}")
+        print(f"\nwrote {out_path}")
     return results
 
 

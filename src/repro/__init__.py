@@ -35,11 +35,13 @@ from repro.exceptions import (
 )
 from repro.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.metrics import NULL_METRICS, MetricsRegistry
+from repro.recovery import CheckpointStore
 from repro.trace import Tracer
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointStore",
     "DatasetStats",
     "ExplainResult",
     "FaultInjector",

@@ -13,6 +13,10 @@ estimate
 run
     Execute the workload end to end at mini scale on the real engines
     with a synthetic dataset, printing per-layer downstream F1.
+    ``--checkpoint-dir`` makes stage outputs durable.
+resume
+    Pick up an interrupted checkpointed run: restore checksum-valid
+    stage partitions from ``--checkpoint-dir``, recompute the rest.
 explain
     Show the complete Algorithm 1 candidate ledger (every cpu with its
     Eq. 9-15 terms and rejection reasons), optionally pricing a pinned
@@ -216,6 +220,11 @@ def cmd_run(args):
         from repro.metrics import MetricsRegistry
 
         metrics_registry = MetricsRegistry()
+    checkpoint_store = None
+    if getattr(args, "checkpoint_dir", None):
+        from repro.recovery import CheckpointStore
+
+        checkpoint_store = CheckpointStore(args.checkpoint_dir)
     maker = foods_dataset if args.dataset == "foods" else amazon_dataset
     dataset = maker(num_records=args.records)
     resources = Resources(
@@ -233,9 +242,17 @@ def cmd_run(args):
     config = vista.optimize(tracer=tracer, metrics=metrics_registry)
     print(f"optimizer: {config.describe()}")
     try:
-        result = vista.run(tracer=tracer, metrics=metrics_registry)
+        result = vista.run(tracer=tracer, metrics=metrics_registry,
+                           checkpoint_store=checkpoint_store)
     except WorkloadCrash as crash:
         print(f"CRASHED: {type(crash).__name__}: {crash}")
+        if checkpoint_store is not None:
+            print(
+                f"checkpoints survive under {checkpoint_store.root} "
+                f"(run `repro resume --checkpoint-dir "
+                f"{checkpoint_store.root} ...` with the same workload "
+                "to pick up from them)"
+            )
         if metrics_registry is not None:
             from repro.report import render_crash_report
 
@@ -252,6 +269,8 @@ def cmd_run(args):
               f"train F1={layer_result.downstream['f1_train']:.3f}")
     print(f"inference GFLOPs: "
           f"{result.metrics['inference_flops'] / 1e9:.3f}")
+    if checkpoint_store is not None:
+        _print_checkpoint_summary(checkpoint_store)
     if tracer is not None:
         exported = tracer.export()
         if args.trace:
@@ -278,6 +297,38 @@ def cmd_run(args):
                 result=result,
             )
     return 0
+
+
+def _print_checkpoint_summary(store):
+    print(
+        f"checkpoints: {store.checkpoint_partitions_total} partitions / "
+        f"{store.checkpoint_bytes} B written, {store.restore_total} "
+        f"restored, {store.recompute_total} recomputed "
+        f"(saved ratio {store.saved_ratio():.2f})"
+    )
+    if store.corrupt_total or store.missing_total or store.torn_manifest_total:
+        print(
+            f"checkpoint integrity: {store.corrupt_total} corrupt, "
+            f"{store.missing_total} missing, "
+            f"{store.torn_manifest_total} torn manifests — all recovered "
+            "by recompute"
+        )
+
+
+def cmd_resume(args):
+    """Resume an interrupted checkpointed run: same workload flags as
+    ``run``, restoring checksum-valid stage partitions from
+    ``--checkpoint-dir`` and recomputing only the rest."""
+    import os
+
+    if not os.path.isdir(args.checkpoint_dir):
+        print(
+            f"resume: checkpoint dir {args.checkpoint_dir!r} does not "
+            "exist (nothing to resume from)",
+            file=sys.stderr,
+        )
+        return 2
+    return cmd_run(args)
 
 
 def cmd_explain(args):
@@ -365,25 +416,46 @@ def build_parser():
         "--backend", default="spark", choices=["spark", "ignite"]
     )
 
+    def _add_run_args(sub_parser):
+        _add_workload_args(sub_parser)
+        sub_parser.add_argument("--records", type=int, default=80)
+        sub_parser.add_argument(
+            "--trace", action="store_true",
+            help="record a span trace and print the flame-style summary",
+        )
+        sub_parser.add_argument(
+            "--trace-json", metavar="PATH", default=None,
+            help="write the recorded trace as JSON to PATH",
+        )
+        sub_parser.add_argument(
+            "--metrics", action="store_true",
+            help="record time-series metrics and print the run report "
+                 "(memory waterlines, predicted-vs-observed peaks)",
+        )
+        sub_parser.add_argument(
+            "--metrics-json", metavar="PATH", default=None,
+            help="write a trace/v2 envelope with the metrics block to PATH",
+        )
+
     run = sub.add_parser("run", help="mini-scale end-to-end execution")
-    _add_workload_args(run)
-    run.add_argument("--records", type=int, default=80)
+    _add_run_args(run)
     run.add_argument(
-        "--trace", action="store_true",
-        help="record a span trace and print the flame-style summary",
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="durably checkpoint stage outputs under DIR (integrity-"
+             "verified VCB1 partitions + SHA-256 manifest); an "
+             "interrupted run can later be picked up with `repro resume`",
     )
-    run.add_argument(
-        "--trace-json", metavar="PATH", default=None,
-        help="write the recorded trace as JSON to PATH",
+
+    resume = sub.add_parser(
+        "resume",
+        help="resume an interrupted checkpointed run: restore checksum-"
+             "valid stage partitions from --checkpoint-dir, recompute "
+             "the rest",
     )
-    run.add_argument(
-        "--metrics", action="store_true",
-        help="record time-series metrics and print the run report "
-             "(memory waterlines, predicted-vs-observed peaks)",
-    )
-    run.add_argument(
-        "--metrics-json", metavar="PATH", default=None,
-        help="write a trace/v2 envelope with the metrics block to PATH",
+    _add_run_args(resume)
+    resume.add_argument(
+        "--checkpoint-dir", metavar="DIR", required=True,
+        help="checkpoint directory of the interrupted run (required)",
     )
 
     explain = sub.add_parser(
@@ -459,6 +531,7 @@ def main(argv=None):
         "plan": cmd_plan,
         "estimate": cmd_estimate,
         "run": cmd_run,
+        "resume": cmd_resume,
         "explain": cmd_explain,
         "report": cmd_report,
     }

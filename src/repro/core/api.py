@@ -123,7 +123,8 @@ class Vista:
         )
 
     def run(self, plan=None, premat_layer=None, context=None,
-            feature_store=None, tracer=None, metrics=None):
+            feature_store=None, tracer=None, metrics=None,
+            checkpoint_store=None):
         """Optimize, configure, and execute the workload end to end.
 
         ``feature_store`` (a :class:`~repro.features.store.FeatureStore`)
@@ -133,7 +134,10 @@ class Vista:
         on ``WorkloadResult.trace``; ``metrics`` (a
         :class:`~repro.metrics.MetricsRegistry`) records per-region
         occupancy timelines and storage/task counters on
-        ``WorkloadResult.metrics_registry``. Returns a
+        ``WorkloadResult.metrics_registry``. ``checkpoint_store`` (a
+        :class:`~repro.recovery.CheckpointStore`) makes stage outputs
+        durable and restores checksum-valid partitions from a prior
+        interrupted run of the same workload. Returns a
         :class:`~repro.core.executor.WorkloadResult` with one trained
         downstream model per explored feature layer.
         """
@@ -148,6 +152,7 @@ class Vista:
             context, cnn, self.dataset, self.layers, config,
             downstream_fn=self.downstream_fn, feature_store=feature_store,
             tracer=tracer, metrics=metrics,
+            checkpoint_store=checkpoint_store,
         )
         return executor.run(plan or self.plan, premat_layer=premat_layer)
 
@@ -181,7 +186,8 @@ class Vista:
 
     def run_resilient(self, plan=None, premat_layer=None, fault_plan=None,
                       seed=0, retry_policy=None, max_attempts=16,
-                      feature_store=None, tracer=None, metrics=None):
+                      feature_store=None, tracer=None, metrics=None,
+                      checkpoint_store=None):
         """Run under the :class:`~repro.core.resilient.ResilientRunner`
         supervisor: transient task failures are retried from lineage,
         lost workers are blacklisted, and Section 4.1 crashes are
@@ -191,7 +197,11 @@ class Vista:
         every recovery step taken. ``tracer`` records each attempt as
         an ``attempt:<n>`` span with ``degrade`` events between rungs;
         ``metrics`` additionally counts ``degrades_total`` per ladder
-        rung and accumulates occupancy series across attempts.
+        rung and accumulates occupancy series across attempts. With a
+        ``checkpoint_store`` the supervisor is resume-first: a crash
+        re-runs the same plan restoring checksum-valid partitions and
+        recomputing the rest, degrading only when resume stops making
+        progress.
         """
         from repro.core.resilient import ResilientRunner
 
@@ -199,6 +209,7 @@ class Vista:
             self, fault_plan=fault_plan, seed=seed,
             retry_policy=retry_policy, max_attempts=max_attempts,
             tracer=tracer, metrics=metrics,
+            checkpoint_store=checkpoint_store,
         )
         return runner.run(
             plan=plan, premat_layer=premat_layer, feature_store=feature_store

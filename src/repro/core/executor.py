@@ -148,7 +148,7 @@ class FeatureTransferExecutor:
     def __init__(self, context, cnn, dataset, layers, config,
                  downstream_fn=None, model_mem_bytes=None, pool_grid=2,
                  user_alpha=2.0, feature_store=None, tracer=None,
-                 metrics=None):
+                 metrics=None, checkpoint_store=None):
         self.context = context
         self.cnn = cnn
         self.dataset = dataset
@@ -163,6 +163,7 @@ class FeatureTransferExecutor:
         self.pool_grid = pool_grid
         self.user_alpha = user_alpha
         self.feature_store = feature_store
+        self.checkpoint_store = checkpoint_store
         self.metrics = {}
         self._measured_table_bytes = {}
         self._batched_fallbacks = 0
@@ -202,6 +203,7 @@ class FeatureTransferExecutor:
         self.context.reset_metrics()
         self.context.shuffle_bytes_total = 0
         config = self.config
+        self._bind_checkpoints(plan)
         previous_timer = self.cnn.op_timer
         op_hook, op_flush = self._op_timer_hook()
         if op_hook is not None:
@@ -242,6 +244,36 @@ class FeatureTransferExecutor:
             plan.label, layer_results, dict(self.metrics), trace=trace,
             metrics_registry=registry,
         )
+
+    def _bind_checkpoints(self, plan):
+        """Bind the checkpoint store (if any) to this run's identity.
+
+        The fingerprint covers everything that shapes stage-output
+        bytes — model, layers, dataset, plan, and the partitioning /
+        persistence knobs — so a degraded re-plan lands in a fresh
+        (empty) namespace instead of restoring incompatible partitions.
+        """
+        store = self.checkpoint_store
+        if store is None:
+            return
+        from repro.features.store import dataset_fingerprint
+        from repro.recovery.store import run_fingerprint
+
+        store.fault_injector = getattr(self.context, "fault_injector", None)
+        store.attach_metrics(getattr(self.context, "metrics", NULL_METRICS))
+        store.bind_run(run_fingerprint(
+            getattr(self.cnn, "name", "cnn"),
+            getattr(self.cnn, "seed", None),
+            self.layers, dataset_fingerprint(self.dataset), plan.label,
+            self.config,
+        ))
+
+    def _ckpt(self, stage_id):
+        """``checkpoint=`` argument for a durable ``map_blocks`` stage
+        (None when no store is attached)."""
+        if self.checkpoint_store is None:
+            return None
+        return (self.checkpoint_store, stage_id)
 
     def _op_timer_hook(self):
         """Per-operator hook for the CNN engine, as a ``(recorder,
@@ -423,6 +455,11 @@ class FeatureTransferExecutor:
                 eager_table = base.map_blocks(
                     materialize_block, row_fn=materialize_rows,
                     name="t_eager", user_alpha=self.user_alpha,
+                    checkpoint=self._ckpt(
+                        f"eager:{source_layer or 'image'}->{all_layers[-1]}"
+                        + ("+aj" if plan.join_placement
+                           is JoinPlacement.AFTER_JOIN else "")
+                    ),
                 )
             finally:
                 release()
@@ -652,6 +689,10 @@ class FeatureTransferExecutor:
                 out_rows.append(out)
             return out_rows
 
+        stage_id = (
+            f"infer:{from_layer or 'image'}->{to_layer}"
+            + ("+aj" if keep else "")
+        )
         with self.tracer.span(
             f"inference:{to_layer}", from_layer=from_layer or "image",
             to_layer=to_layer,
@@ -661,6 +702,7 @@ class FeatureTransferExecutor:
                 result = table.map_blocks(
                     infer_block, row_fn=infer_rows, name=f"t_{to_layer}",
                     user_alpha=self.user_alpha,
+                    checkpoint=self._ckpt(stage_id),
                 )
             finally:
                 release()
@@ -777,6 +819,7 @@ class FeatureTransferExecutor:
         vectors = table.map_blocks(
             vectorize_block, row_fn=vectorize_rows,
             user_alpha=self.user_alpha,
+            checkpoint=self._ckpt(f"train:{layer}"),
         )
         features, labels = self._collect_train_matrix(vectors)
         with self.tracer.span(f"downstream:{layer}") as down:
@@ -870,6 +913,11 @@ class FeatureTransferExecutor:
                 "region_budget_bytes": region_budgets,
             }
         )
+        if self.checkpoint_store is not None:
+            self.metrics.update(self.checkpoint_store.counters())
+            self.metrics["recomputation_saved_ratio"] = (
+                self.checkpoint_store.saved_ratio()
+            )
         recovery = getattr(context, "recovery_log", None)
         if recovery is not None:
             self.metrics["recovery_log"] = [dict(e) for e in recovery]

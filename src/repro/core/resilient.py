@@ -110,7 +110,7 @@ class ResilientRunner:
 
     def __init__(self, vista, fault_plan=None, seed=0, injector=None,
                  retry_policy=None, max_attempts=16, recovery_log=None,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None, checkpoint_store=None):
         if injector is None and fault_plan is not None:
             from repro.faults import FaultInjector
 
@@ -124,6 +124,11 @@ class ResilientRunner:
         )
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.checkpoint_store = checkpoint_store
+        # Valid-partition count at the last resume decision: resume is
+        # chosen only while the store keeps *growing* between crashes,
+        # which guarantees the resume loop terminates.
+        self._resume_watermark = None
 
     # ------------------------------------------------------------------
     def run(self, plan=None, premat_layer=None, feature_store=None):
@@ -173,6 +178,7 @@ class ResilientRunner:
                 feature_store=feature_store,
                 tracer=tracer if tracer.enabled else None,
                 metrics=metrics if metrics.enabled else None,
+                checkpoint_store=self.checkpoint_store,
             )
             try:
                 with tracer.span(f"attempt:{attempt}", plan=plan.label,
@@ -180,11 +186,41 @@ class ResilientRunner:
                                  persistence=config.persistence):
                     result = executor.run(plan, premat_layer=premat_layer)
             except WorkloadCrash as crash:
-                if not crash.retryable or attempt >= self.max_attempts:
+                if attempt >= self.max_attempts:
+                    raise
+                if self._should_resume():
+                    # Resume-first: the store grew since the last
+                    # decision, so re-running the *same* plan/config on
+                    # a fresh context restores the checkpointed
+                    # partitions and recomputes only the rest. Fresh
+                    # workers also model replacement machines, which is
+                    # why even ClusterExhausted is resumable here.
+                    restorable = self.checkpoint_store.valid_partition_count()
+                    recovery.record(
+                        "resume", attempt=attempt,
+                        crash=type(crash).__name__,
+                        restorable_partitions=restorable,
+                        plan=plan.label, cpu=config.cpu,
+                        sim_time_s=self._sim_time(),
+                    )
+                    tracer.event(
+                        "resume", attempt=attempt,
+                        crash=type(crash).__name__,
+                        restorable_partitions=restorable,
+                    )
+                    metrics.counter(
+                        "resumes_total", crash=type(crash).__name__,
+                    ).inc()
+                    continue
+                if not crash.retryable:
                     raise
                 config, plan, step = degrade_once(
                     config, plan, self._optimize_below
                 )
+                # A degraded plan/config lands in a fresh checkpoint
+                # namespace (new fingerprint): reset the progress
+                # watermark so resume gets a clean first chance there.
+                self._resume_watermark = None
                 recovery.record(
                     "degrade", attempt=attempt,
                     crash=type(crash).__name__, step=step,
@@ -210,6 +246,26 @@ class ResilientRunner:
             return result
 
     # ------------------------------------------------------------------
+    def _should_resume(self):
+        """Resume-first policy: retry the same plan/config when the
+        checkpoint store made *progress* since the last resume
+        decision. No store, an unbound store (crash before the first
+        stage), or a stalled store (a crash the checkpoints cannot
+        outrun — structural memory overflow at stage one) all fall
+        through to the degradation ladder."""
+        store = self.checkpoint_store
+        if store is None or store.fingerprint is None:
+            return False
+        valid = store.valid_partition_count()
+        watermark = (
+            self._resume_watermark
+            if self._resume_watermark is not None else 0
+        )
+        if valid <= watermark:
+            return False
+        self._resume_watermark = valid
+        return True
+
     def _optimize_below(self, cpu):
         """Rung 4: re-invoke Algorithm 1 with ``cpu_max`` clamped so
         the winning candidate has strictly lower parallelism."""

@@ -70,14 +70,19 @@ def _waves(items, width):
 
 
 def run_partition_tasks(context, partitions, task_fn, region=Region.USER,
-                        charge_fn=None, what="udf execution"):
+                        charge_fn=None, what="udf execution",
+                        on_commit=None):
     """Run ``task_fn(partition) -> result`` over every partition.
 
     ``charge_fn(partition, result) -> bytes`` gives the per-task memory
     footprint charged to ``region`` on that partition's worker for the
-    duration of its wave. Results are returned in partition order;
-    transient failures are retried from lineage as described in the
-    module docstring.
+    duration of its wave. ``on_commit(partition, result)`` — if given —
+    fires as each wave's results are committed (after the wave survived
+    its memory charges and any injected faults), which is the hook the
+    checkpoint layer uses for wave-granular durability: a partition
+    lost with a mid-wave ``WorkerLost`` is never reported committed.
+    Results are returned in partition order; transient failures are
+    retried from lineage as described in the module docstring.
     """
     results = [None] * len(partitions)
     injector = getattr(context, "fault_injector", None)
@@ -96,7 +101,7 @@ def run_partition_tasks(context, partitions, task_fn, region=Region.USER,
             _run_worker_share(
                 context, worker, items, task_fn, region, charge_fn, what,
                 results, attempts, retry_next, policy, injector, recovery,
-                clock,
+                clock, on_commit,
             )
         pending = retry_next
     return results
@@ -104,7 +109,7 @@ def run_partition_tasks(context, partitions, task_fn, region=Region.USER,
 
 def _run_worker_share(context, worker, items, task_fn, region, charge_fn,
                       what, results, attempts, retry_next, policy, injector,
-                      recovery, clock):
+                      recovery, clock, on_commit=None):
     """Run one worker's partitions in waves of ``context.cpu``."""
     tracer = getattr(context, "tracer", NULL_TRACER)
     metrics = getattr(context, "metrics", NULL_METRICS)
@@ -139,8 +144,11 @@ def _run_worker_share(context, worker, items, task_fn, region, charge_fn,
             return
         finally:
             occupancy.set(0)
+        by_position = dict(wave)
         for position, result in wave_results:
             results[position] = result
+            if on_commit is not None:
+                on_commit(by_position[position], result)
         if worker.node_id in context.excluded_workers:
             # Blacklisted mid-wave by the failure threshold: committed
             # waves stand, the rest of the share is reassigned.
@@ -206,7 +214,9 @@ def _handle_task_failure(context, worker, position, partition, attempt, exc,
     structured TaskFailure."""
     if getattr(exc, "transient", False) and attempt < policy.max_task_attempts:
         worker.task_failures += 1
-        backoff = policy.backoff_s(attempt)
+        # keyed jitter: same-wave retries of different partitions
+        # desynchronize instead of stampeding a shared store together
+        backoff = policy.backoff_s(attempt, key=partition.index)
         clock.advance(backoff)
         getattr(context, "tracer", NULL_TRACER).add("task_retries")
         getattr(context, "metrics", NULL_METRICS).counter(
@@ -225,6 +235,12 @@ def _handle_task_failure(context, worker, position, partition, attempt, exc,
         # Structural memory overflow (or a transient one out of retry
         # budget): typed for the degrade-and-retry supervisor.
         raise exc
+    # ``from exc`` keeps the original traceback on __cause__; the log
+    # entry mirrors the chain so post-mortems see *what* failed, not
+    # just the structured wrapper.
+    _record(recovery, clock, "task_failure", table=what,
+            partition=partition.index, worker=worker.node_id,
+            attempt=attempt, cause=type(exc).__name__, error=str(exc))
     raise TaskFailure(
         partition_index=partition.index, worker_id=worker.node_id,
         attempt=attempt, cause=exc,

@@ -10,16 +10,26 @@ crash pattern.
 "Disk" is a byte counter plus retained partition references: the data
 is never thrown away (we are one process), but every spill and
 re-read is metered so benchmarks and the cost model can charge I/O.
+With ``spill_dir`` set, evictions additionally write each spilled
+partition's serialized blob to a real file using the checkpoint
+store's tmp + rename protocol, so a crash mid-spill leaves a stray
+``*.tmp`` (reclaimed on the next manager construction) rather than a
+torn spill file — the regression tests inject exactly that crash and
+assert no orphans leak.
 """
 
 from __future__ import annotations
 
+import os
+import re
 from collections import OrderedDict
 
 from repro.dataflow.partition import DESERIALIZED
 from repro.exceptions import StorageMemoryExceeded
 from repro.metrics import NULL_METRICS
 from repro.trace import NULL_TRACER
+
+_UNSAFE_KEY = re.compile(r"[^A-Za-z0-9_.-]+")
 
 
 class StorageManager:
@@ -37,14 +47,16 @@ class StorageManager:
     memory-resident before its LRU eviction).
     """
 
-    def __init__(self, capacity_bytes, spill_enabled=True):
+    def __init__(self, capacity_bytes, spill_enabled=True, spill_dir=None):
         self.capacity_bytes = int(capacity_bytes)
         self.spill_enabled = spill_enabled
+        self.spill_dir = str(spill_dir) if spill_dir is not None else None
         self.tracer = NULL_TRACER
         self.metrics = NULL_METRICS
         self._m = None
         self._cached = OrderedDict()   # key -> (partition, bytes)
         self._spilled = {}             # key -> (partition, bytes)
+        self._spill_files = {}         # key -> on-disk blob path
         self._admitted_tick = {}       # key -> registry tick at admission
         self.used_bytes = 0
         self.peak_bytes = 0
@@ -53,6 +65,36 @@ class StorageManager:
         self.eviction_count = 0
         self.hit_count = 0
         self.miss_count = 0
+        self.reclaimed_tmp_count = 0
+        if self.spill_dir is not None:
+            from repro.recovery.store import reclaim_tmp_files
+
+            os.makedirs(self.spill_dir, exist_ok=True)
+            # Stray *.tmp files are the residue of a crash mid-spill;
+            # only complete (renamed) spill files are ever trusted.
+            self.reclaimed_tmp_count = len(reclaim_tmp_files(self.spill_dir))
+
+    def _spill_to_disk(self, key, partition):
+        """Write a spilled partition's serialized blob to a real file
+        via tmp + rename. Failures leave no tmp residue and fall back
+        to the in-memory retained copy (the spill stays metered)."""
+        if self.spill_dir is None:
+            return
+        from repro.recovery.store import atomic_write_bytes
+
+        name = _UNSAFE_KEY.sub("-", str(key)).strip("-") or "partition"
+        path = os.path.join(self.spill_dir, f"{name}.spill")
+        try:
+            atomic_write_bytes(path, partition.serialized_blob(),
+                               fsync=False)
+        except OSError:
+            return  # retained in-memory copy still serves re-reads
+        self._spill_files[key] = path
+
+    def _drop_spill_file(self, key):
+        path = self._spill_files.pop(key, None)
+        if path is not None and os.path.exists(path):
+            os.remove(path)
 
     def attach_metrics(self, metrics, owner):
         """Emit this region's timeline and counters on ``metrics``,
@@ -119,6 +161,7 @@ class StorageManager:
         # copy so the key is not double-tracked (and a later eviction
         # cannot double-count its bytes).
         self._spilled.pop(key, None)
+        self._drop_spill_file(key)
         self._cached[key] = (partition, nbytes)
         self.used_bytes += nbytes
         self.peak_bytes = max(self.peak_bytes, self.used_bytes)
@@ -137,6 +180,7 @@ class StorageManager:
                 )
             evict_key, (partition, nbytes) = self._cached.popitem(last=False)
             self._spilled[evict_key] = (partition, nbytes)
+            self._spill_to_disk(evict_key, partition)
             self.used_bytes -= nbytes
             self.spilled_bytes_total += nbytes
             self.eviction_count += 1
@@ -189,6 +233,7 @@ class StorageManager:
             self._make_room(nbytes)
             if self.used_bytes + nbytes <= self.capacity_bytes:
                 self._cached[key] = (partition, nbytes)
+                self._drop_spill_file(key)
                 self.used_bytes += nbytes
                 self.peak_bytes = max(self.peak_bytes, self.used_bytes)
                 if self._m is not None:
@@ -209,11 +254,14 @@ class StorageManager:
             self.used_bytes -= nbytes
             self._sample_occupancy()
         self._spilled.pop(key, None)
+        self._drop_spill_file(key)
         self._admitted_tick.pop(key, None)
 
     def clear(self):
         self._cached.clear()
         self._spilled.clear()
+        for key in list(self._spill_files):
+            self._drop_spill_file(key)
         self._admitted_tick.clear()
         self.used_bytes = 0
         self._sample_occupancy()
@@ -223,6 +271,11 @@ class StorageManager:
 
     def spilled_keys(self):
         return list(self._spilled)
+
+    def spill_file_paths(self):
+        """On-disk blob paths of currently spilled partitions (empty
+        without ``spill_dir``)."""
+        return dict(self._spill_files)
 
     def __repr__(self):
         return (

@@ -120,7 +120,8 @@ class DistributedTable:
                 sp.add("bytes_out", result.memory_bytes())
         return result
 
-    def map_blocks(self, block_fn, row_fn=None, name=None, user_alpha=1.0):
+    def map_blocks(self, block_fn, row_fn=None, name=None, user_alpha=1.0,
+                   checkpoint=None):
         """Apply ``block_fn(block) -> block`` per columnar partition —
         the zero-copy batched path: the UDF reads the stored column
         arrays in place and returns a new
@@ -131,7 +132,16 @@ class DistributedTable:
         first). Wave-based User Memory accounting matches
         :meth:`map_partitions`, but columnar outputs are charged their
         *exact* buffer bytes instead of the per-record estimate.
+
+        ``checkpoint=(store, stage_id)`` makes the stage durable:
+        checksum-valid partitions already in the
+        :class:`~repro.recovery.store.CheckpointStore` are restored
+        (skipping their tasks entirely — the resume path), every
+        freshly committed wave's outputs are persisted as they land,
+        and the stage is marked complete at the end.
         """
+        store, stage_id = checkpoint if checkpoint is not None else (None, None)
+
         def task(partition):
             block = partition.block()
             if block is not None:
@@ -145,18 +155,48 @@ class DistributedTable:
                 return int(user_alpha * out.nbytes)
             return int(user_alpha * estimate_rows_bytes(out))
 
+        def to_partition(index, out):
+            if isinstance(out, ColumnarBlock):
+                return Partition.from_block(index, out)
+            return Partition.from_rows(index, out)
+
+        recovery = getattr(self.context, "recovery_log", None)
         tracer = getattr(self.context, "tracer", NULL_TRACER)
         with tracer.span(f"map:{name or self.name}", table=self.name) as sp:
-            outputs = run_partition_tasks(
-                self.context, self.partitions, task, region=Region.USER,
-                charge_fn=charge, what=f"map over {self.name}",
-            )
-            partitions = [
-                Partition.from_block(p.index, out)
-                if isinstance(out, ColumnarBlock)
-                else Partition.from_rows(p.index, out)
-                for p, out in zip(self.partitions, outputs)
+            restored = {}
+            if store is not None:
+                restored = store.restore_stage(stage_id,
+                                               recovery_log=recovery)
+                if restored and recovery is not None:
+                    recovery.record(
+                        "checkpoint_restore", stage=str(stage_id),
+                        partitions=sorted(restored),
+                    )
+            pending = [
+                p for p in self.partitions if p.index not in restored
             ]
+            committed = {}
+
+            def on_commit(partition, out):
+                part = to_partition(partition.index, out)
+                committed[partition.index] = part
+                store.put_partition(stage_id, part)
+
+            outputs = run_partition_tasks(
+                self.context, pending, task, region=Region.USER,
+                charge_fn=charge, what=f"map over {self.name}",
+                on_commit=on_commit if store is not None else None,
+            )
+            computed = {
+                p.index: committed.get(p.index) or to_partition(p.index, out)
+                for p, out in zip(pending, outputs)
+            }
+            partitions = [
+                restored.get(p.index) or computed[p.index]
+                for p in self.partitions
+            ]
+            if store is not None:
+                store.commit_stage(stage_id, lineage=("map", self.name))
             result = DistributedTable(
                 self.context, partitions, name=name, key=self.key,
                 lineage=("map", self.name),
@@ -166,6 +206,8 @@ class DistributedTable:
                 sp.add("rows_in", self.num_rows())
                 sp.add("rows_out", result.num_rows())
                 sp.add("bytes_out", result.memory_bytes())
+                if store is not None:
+                    sp.add("restored_partitions", len(restored))
         return result
 
     def project(self, fields, name=None):

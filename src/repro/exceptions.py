@@ -131,6 +131,22 @@ class TaskFailure(VistaError):
         return getattr(self.cause, "transient", False)
 
 
+class CheckpointIntegrityError(VistaError):
+    """A durable checkpoint failed verification: a partition payload's
+    SHA-256 digest does not match its manifest entry, the manifest
+    itself is torn (truncated/unparseable), or a manifested file is
+    missing. Always raised ``from`` the underlying cause (if any) so
+    the original traceback survives into the recovery log; the
+    checkpoint store treats the entry as unusable and recovery falls
+    back to lineage recompute — corrupt state is never silently
+    ingested."""
+
+    def __init__(self, message, stage=None, partition=None):
+        super().__init__(message)
+        self.stage = stage
+        self.partition = partition
+
+
 class NoFeasiblePlan(VistaError):
     """Raised by the optimizer (Algorithm 1, line 18) when no value of
     ``cpu`` satisfies all memory constraints; the user must provision

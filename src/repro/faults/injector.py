@@ -13,12 +13,17 @@ are bit-identical to a fault-free run.
 
 from __future__ import annotations
 
+import os
 import random
 from collections import Counter, defaultdict
 
 from repro.exceptions import TransientTaskOOM, VistaError, WorkerLost
 from repro.faults.clock import SimulatedClock
 from repro.faults.plan import (
+    CHECKPOINT_CORRUPT,
+    CHECKPOINT_KINDS,
+    CHECKPOINT_MISSING,
+    CHECKPOINT_TORN,
     FaultPlan,
     STRAGGLER,
     TASK_CRASH,
@@ -80,6 +85,8 @@ class FaultInjector:
         for rule in self.plan:
             if rule.kind == WORKER_LOSS and rule.wave is not None:
                 continue  # handled at wave boundaries
+            if rule.kind in CHECKPOINT_KINDS:
+                continue  # fired by the checkpoint store's write hooks
             if not rule.matches_task(what, partition_index, worker_id,
                                      attempt):
                 continue
@@ -108,6 +115,66 @@ class FaultInjector:
                     f"injected loss of worker {worker_id} at {where}",
                     worker_id=worker_id,
                 )
+
+    def on_checkpoint_write(self, stage_id, partition_index, path):
+        """Called by the checkpoint store after a partition payload
+        lands durably. Corruption rules flip one seeded byte in the
+        file; missing-file rules delete it. Either way the manifest
+        already carries the *true* digest, so restore must detect the
+        damage instead of ingesting it."""
+        for rule in self.plan:
+            if rule.kind not in (CHECKPOINT_CORRUPT, CHECKPOINT_MISSING):
+                continue
+            if not rule.matches_checkpoint(stage_id, partition_index):
+                continue
+            if not self._fires(rule):
+                continue
+            self.injected[rule.kind] += 1
+            if rule.kind == CHECKPOINT_MISSING:
+                os.remove(path)
+                detail = "deleted"
+            else:
+                detail = self._flip_byte(path)
+            if self.recovery_log is not None:
+                self.recovery_log.record(
+                    "checkpoint_fault", kind=rule.kind, stage=str(stage_id),
+                    partition=partition_index, detail=detail,
+                    sim_time_s=self.clock.now,
+                )
+
+    def on_manifest_commit(self, path):
+        """Called after a manifest rewrite; a torn rule truncates it
+        mid-file (the write that 'beat the rename' in a real torn
+        write), so the next :meth:`CheckpointStore.bind_run` must
+        quarantine the whole run directory."""
+        for rule in self.plan:
+            if rule.kind != CHECKPOINT_TORN:
+                continue
+            if not self._fires(rule):
+                continue
+            self.injected[CHECKPOINT_TORN] += 1
+            size = os.path.getsize(path)
+            keep = max(1, size // 2)
+            with open(path, "rb+") as handle:
+                handle.truncate(keep)
+            if self.recovery_log is not None:
+                self.recovery_log.record(
+                    "checkpoint_fault", kind=CHECKPOINT_TORN,
+                    detail=f"truncated manifest {size}->{keep} B",
+                    sim_time_s=self.clock.now,
+                )
+
+    def _flip_byte(self, path):
+        """Flip one byte at a seeded offset — a single-bit-rot stand-in
+        that a SHA-256 check must catch."""
+        size = os.path.getsize(path)
+        offset = self.rng.randrange(size)
+        with open(path, "rb+") as handle:
+            handle.seek(offset)
+            original = handle.read(1)[0]
+            handle.seek(offset)
+            handle.write(bytes([original ^ 0xFF]))
+        return f"flipped byte at offset {offset}"
 
     # ------------------------------------------------------------------
     def _fires(self, rule):

@@ -19,8 +19,15 @@ TASK_CRASH = "task-crash"
 TASK_OOM = "task-oom"
 WORKER_LOSS = "worker-loss"
 STRAGGLER = "straggler"
+#: Checkpoint-hostility kinds: prove recovery against a store that
+#: lies, not just one that is empty. ``table`` matches the stage id.
+CHECKPOINT_CORRUPT = "checkpoint-corrupt"
+CHECKPOINT_MISSING = "checkpoint-missing"
+CHECKPOINT_TORN = "checkpoint-torn"
 
-KINDS = (TASK_CRASH, TASK_OOM, WORKER_LOSS, STRAGGLER)
+KINDS = (TASK_CRASH, TASK_OOM, WORKER_LOSS, STRAGGLER,
+         CHECKPOINT_CORRUPT, CHECKPOINT_MISSING, CHECKPOINT_TORN)
+CHECKPOINT_KINDS = (CHECKPOINT_CORRUPT, CHECKPOINT_MISSING, CHECKPOINT_TORN)
 
 
 @dataclass(frozen=True)
@@ -61,6 +68,20 @@ class FaultRule:
         if self.attempt is not None and self.attempt != attempt:
             return False
         if self.table is not None and self.table not in what:
+            return False
+        return True
+
+    def matches_checkpoint(self, stage_id, partition_index):
+        """Does this checkpoint rule apply to a just-written
+        checkpoint file? ``table`` substring-matches the stage id,
+        ``partition`` the partition index (torn-manifest rules ignore
+        partitions — the manifest is run-level)."""
+        if self.kind not in CHECKPOINT_KINDS:
+            return False
+        if self.table is not None and self.table not in str(stage_id):
+            return False
+        if (self.kind != CHECKPOINT_TORN and self.partition is not None
+                and self.partition != partition_index):
             return False
         return True
 
@@ -128,6 +149,33 @@ class FaultPlan:
         return self.add(FaultRule(
             STRAGGLER, partition=partition, worker=worker, table=table,
             attempt=attempt, delay_s=delay_s, probability=probability,
+            times=times,
+        ))
+
+    def checkpoint_corrupt(self, stage=None, partition=None, probability=1.0,
+                           times=1):
+        """Flip a seeded byte in the matching checkpoint payload after
+        it lands on disk — restore must catch the SHA-256 mismatch."""
+        return self.add(FaultRule(
+            CHECKPOINT_CORRUPT, table=stage, partition=partition,
+            probability=probability, times=times,
+        ))
+
+    def checkpoint_missing(self, stage=None, partition=None, probability=1.0,
+                           times=1):
+        """Delete the matching checkpoint payload after it is written
+        — restore must treat the manifest entry as unusable."""
+        return self.add(FaultRule(
+            CHECKPOINT_MISSING, table=stage, partition=partition,
+            probability=probability, times=times,
+        ))
+
+    def checkpoint_torn(self, stage=None, probability=1.0, times=1):
+        """Truncate the manifest mid-file after a commit, simulating a
+        torn write that beat the rename — the next bind must detect
+        the unparseable JSON and quarantine the run directory."""
+        return self.add(FaultRule(
+            CHECKPOINT_TORN, table=stage, probability=probability,
             times=times,
         ))
 

@@ -12,6 +12,7 @@ steps from the supervisor — and is surfaced verbatim in
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 
@@ -27,13 +28,38 @@ class RetryPolicy:
     #: Failures on one worker before it is blacklisted and its
     #: partitions are reassigned (never blacklists the last worker).
     max_failures_per_worker: int = 4
+    #: Maximum jitter fraction added to the capped exponential delay
+    #: when the caller supplies a ``key``. Same-wave retries otherwise
+    #: fire in lockstep and stampede a shared store (thundering herd);
+    #: jitter is *deterministic* — a SHA-256 of (seed, key, attempt) —
+    #: so the schedule replays identically under the same seed.
+    backoff_jitter: float = 0.1
+    jitter_seed: int = 0
 
-    def backoff_s(self, attempt):
-        """Capped exponential backoff before retry ``attempt + 1``."""
-        return min(
+    def backoff_s(self, attempt, key=None):
+        """Capped exponential backoff before retry ``attempt + 1``.
+
+        With ``key=None`` the schedule is the bare capped exponential;
+        with a ``key`` (typically the partition index) the delay is
+        stretched by up to ``backoff_jitter`` using a seeded hash, so
+        distinct keys desynchronize without sacrificing determinism.
+        """
+        base = min(
             self.backoff_base_s * (2.0 ** (max(1, attempt) - 1)),
             self.backoff_cap_s,
         )
+        if key is None or self.backoff_jitter <= 0.0:
+            return base
+        return base * (1.0 + self.backoff_jitter * self._jitter_fraction(
+            key, attempt))
+
+    def _jitter_fraction(self, key, attempt):
+        """Deterministic fraction in [0, 1): hash-derived rather than
+        ``random`` so the schedule is stable across platforms."""
+        digest = hashlib.sha256(
+            f"{self.jitter_seed}:{key}:{attempt}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64
 
 
 class RecoveryLog:

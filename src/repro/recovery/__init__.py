@@ -1,0 +1,29 @@
+"""Durable checkpoint/resume for long materialization runs.
+
+See :mod:`repro.recovery.store` for the format and the durability /
+integrity disciplines; DESIGN.md §4i for the resume protocol.
+"""
+
+from repro.recovery.store import (
+    MANIFEST_NAME,
+    MANIFEST_SCHEMA,
+    CheckpointStore,
+    atomic_write_bytes,
+    decode_partition,
+    encode_partition,
+    reclaim_tmp_files,
+    run_fingerprint,
+    sha256_hex,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "MANIFEST_SCHEMA",
+    "CheckpointStore",
+    "atomic_write_bytes",
+    "decode_partition",
+    "encode_partition",
+    "reclaim_tmp_files",
+    "run_fingerprint",
+    "sha256_hex",
+]

@@ -63,6 +63,31 @@ def test_backoff_is_capped_exponential():
     ]
 
 
+def test_backoff_jitter_is_seeded_and_deterministic():
+    """Satellite: jitter decorrelates per-partition backoff without
+    giving up determinism — the schedule is a pure function of
+    (jitter_seed, key, attempt), pinned here."""
+    policy = RetryPolicy(backoff_base_s=1.0, backoff_cap_s=8.0,
+                         backoff_jitter=0.1, jitter_seed=0)
+    schedule = [policy.backoff_s(a, key=3) for a in (1, 2, 3, 4)]
+    # Same policy, same key, same attempts: bit-identical schedule.
+    assert schedule == [policy.backoff_s(a, key=3) for a in (1, 2, 3, 4)]
+    for attempt, (base, jittered) in enumerate(
+        zip([1.0, 2.0, 4.0, 8.0], schedule), start=1
+    ):
+        assert base <= jittered <= base * 1.1, (attempt, jittered)
+    # Distinct keys decorrelate; distinct seeds reshuffle.
+    assert schedule != [policy.backoff_s(a, key=4) for a in (1, 2, 3, 4)]
+    reseeded = RetryPolicy(backoff_base_s=1.0, backoff_cap_s=8.0,
+                           backoff_jitter=0.1, jitter_seed=1)
+    assert schedule != [reseeded.backoff_s(a, key=3) for a in (1, 2, 3, 4)]
+    # No key (or jitter disabled) falls back to the bare exponential.
+    assert policy.backoff_s(3) == 4.0
+    flat = RetryPolicy(backoff_base_s=1.0, backoff_cap_s=8.0,
+                       backoff_jitter=0.0)
+    assert flat.backoff_s(3, key=3) == 4.0
+
+
 # ---------------------------------------------------------------------
 # task crash -> lineage retry
 # ---------------------------------------------------------------------
@@ -82,7 +107,7 @@ def test_task_crash_retried_and_succeeds():
 def test_retry_backoff_advances_simulated_clock():
     plan = FaultPlan().task_crash(partition=0, attempt=None, times=3)
     policy = RetryPolicy(max_task_attempts=5, backoff_base_s=1.0,
-                         backoff_cap_s=30.0)
+                         backoff_cap_s=30.0, backoff_jitter=0.0)
     ctx = _ctx(plan, policy=policy)
     run_partition_tasks(ctx, _parts(4), lambda p: None)
     # three retries: 1s + 2s + 4s of simulated backoff, no real sleep
@@ -102,6 +127,16 @@ def test_retries_exhausted_raise_structured_task_failure():
     assert failure.partition_index == 2
     assert failure.attempt == RetryPolicy().max_task_attempts
     assert isinstance(failure.cause, InjectedTaskCrash)
+    # Satellite: the original fault's traceback is chained via
+    # ``raise ... from``, not flattened into the message.
+    assert failure.__cause__ is failure.cause
+    assert failure.__cause__.__traceback__ is not None
+    # The terminal failure lands in the recovery log alongside the
+    # retries that led up to it.
+    failures = ctx.recovery_log.of("task_failure")
+    assert len(failures) == 1
+    assert failures[0]["partition"] == 2
+    assert failures[0]["cause"] == "InjectedTaskCrash"
 
 
 def test_transient_oom_exhaustion_raises_retryable_crash():

@@ -88,11 +88,13 @@ def _downstream(features, labels):
     }
 
 
-def _run_plan(model, dataset, layers, config, plan):
+def _run_plan(model, dataset, layers, config, plan, downstream_fn=None,
+              checkpoint_store=None):
     ctx = local_context(num_nodes=2, cores_per_node=4, cpu=config.cpu)
     executor = FeatureTransferExecutor(
         ctx, model, dataset, list(layers), config,
-        downstream_fn=_downstream,
+        downstream_fn=downstream_fn or _downstream,
+        checkpoint_store=checkpoint_store,
     )
     return executor.run(plan)
 
@@ -169,3 +171,55 @@ def test_plans_equivalent_under_tracing(seed):
             traced.layer_results[layer].downstream["matrix"],
             plain.layer_results[layer].downstream["matrix"],
         ), f"seed {seed}: tracing perturbed features on {layer}"
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_resume_from_checkpoints_is_bit_identical(seed, tmp_path):
+    """Satellite: the cross-plan invariant extends to recovery — for
+    every logical plan, a run that crashes after its materialization
+    stages and is resumed from the checkpoint store produces feature
+    matrices bit-identical to an uninterrupted run."""
+    from repro.exceptions import WorkloadCrash
+    from repro.recovery import CheckpointStore
+
+    _, model, layers, dataset, config = workload_from_seed(seed)
+    for name, plan in ALL_PLANS.items():
+        plain = _run_plan(model, dataset, layers, config, plan)
+
+        calls = {"n": 0}
+
+        def crashing_downstream(features, labels):
+            # The crash lands after the checkpointed materialization
+            # stages committed, which is the deterministic analogue of
+            # losing the cluster at the last wave.
+            if calls["n"] == 0:
+                calls["n"] += 1
+                raise WorkloadCrash("injected crash before downstream")
+            return _downstream(features, labels)
+
+        root = str(tmp_path / f"ckpt-{name.replace('/', '-')}")
+        store = CheckpointStore(root)
+        with pytest.raises(WorkloadCrash):
+            _run_plan(model, dataset, layers, config, plan,
+                      downstream_fn=crashing_downstream,
+                      checkpoint_store=store)
+        assert store.checkpoint_partitions_total > 0, (
+            f"seed {seed}: plan {name} checkpointed nothing before the "
+            "crash"
+        )
+
+        resumed_store = CheckpointStore(root)
+        resumed = _run_plan(model, dataset, layers, config, plan,
+                            checkpoint_store=resumed_store)
+        assert resumed_store.restore_total > 0, (
+            f"seed {seed}: plan {name} resumed without restoring any "
+            "checkpoint"
+        )
+        for layer in plain.layer_results:
+            ref = plain.layer_results[layer].downstream
+            got = resumed.layer_results[layer].downstream
+            assert np.array_equal(got["matrix"], ref["matrix"]), (
+                f"seed {seed}: plan {name} resume diverged bitwise on "
+                f"layer {layer}"
+            )
+            assert got["f1_train"] == ref["f1_train"]

@@ -1,6 +1,8 @@
 """Unit tests for the storage manager: LRU eviction, spills, and the
 memory-only crash path."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -182,3 +184,52 @@ def test_metrics_memory_only_crash_is_counted():
     )
     assert crashes["total"] == 1
     assert crashes["labels"]["exception"] == "StorageMemoryExceeded"
+
+
+# ---------------------------------------------------------------------
+# on-disk spill files (spill_dir) and mid-write crash residue
+# ---------------------------------------------------------------------
+def test_spill_dir_writes_real_files_and_cleans_up(tmp_path):
+    storage = StorageManager(2_500, spill_dir=str(tmp_path))
+    storage.cache("a", _partition(0, 1000))
+    storage.cache("b", _partition(1, 1000))
+    storage.cache("c", _partition(2, 1000))  # evicts a to disk
+    paths = storage.spill_file_paths()
+    assert "a" in paths and os.path.exists(paths["a"])
+    assert not any(n.endswith(".tmp") for n in os.listdir(tmp_path))
+    assert storage.get("a") is not None  # re-admitted to memory
+    assert "a" not in storage.spill_file_paths()
+    assert not os.path.exists(paths["a"])
+    storage.clear()
+    assert storage.spill_file_paths() == {}
+    assert not any(
+        n.endswith(".spill") for n in os.listdir(tmp_path)
+    )
+
+
+def test_spill_crash_mid_write_leaves_no_tmp_orphan(tmp_path, monkeypatch):
+    """Satellite regression: a crash between the tmp write and the
+    rename must not leak a ``*.tmp`` orphan, and the retained
+    in-memory copy must still serve re-reads."""
+    storage = StorageManager(2_500, spill_dir=str(tmp_path))
+    storage.cache("a", _partition(0, 1000))
+    storage.cache("b", _partition(1, 1000))
+
+    def crash_replace(src, dst):
+        raise OSError("injected crash between write and rename")
+
+    monkeypatch.setattr(os, "replace", crash_replace)
+    storage.cache("c", _partition(2, 1000))  # eviction spills a; write dies
+    monkeypatch.undo()
+    assert os.listdir(tmp_path) == []  # no torn file, no tmp orphan
+    assert "a" in storage.spilled_keys()
+    assert storage.spill_file_paths() == {}
+    assert storage.get("a") is not None  # fallback copy still serves
+
+
+def test_stray_spill_tmp_reclaimed_on_construct(tmp_path):
+    (tmp_path / "t_img-0.spill.tmp").write_bytes(b"torn")
+    (tmp_path / "note.txt").write_bytes(b"keep")
+    storage = StorageManager(2_500, spill_dir=str(tmp_path))
+    assert storage.reclaimed_tmp_count == 1
+    assert sorted(os.listdir(tmp_path)) == ["note.txt"]
