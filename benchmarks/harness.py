@@ -152,6 +152,7 @@ COMMITTED_BENCHES = {
     "recovery": "BENCH_recovery.json",
     "calibration": "BENCH_calibration.json",
     "dataflow": "BENCH_dataflow.json",
+    "parallel": "BENCH_parallel.json",
 }
 
 

@@ -238,6 +238,7 @@ def cmd_run(args):
         num_layers=stats_layers or 2,
         dataset=dataset,
         resources=resources,
+        exec_backend=getattr(args, "backend", None) or "serial",
     )
     config = vista.optimize(tracer=tracer, metrics=metrics_registry)
     print(f"optimizer: {config.describe()}")
@@ -435,6 +436,12 @@ def build_parser():
         sub_parser.add_argument(
             "--metrics-json", metavar="PATH", default=None,
             help="write a trace/v2 envelope with the metrics block to PATH",
+        )
+        sub_parser.add_argument(
+            "--backend", default="serial", choices=["serial", "process"],
+            help="physical wave executor: 'serial' (deterministic "
+                 "in-process default) or 'process' (one forked OS "
+                 "process per wave task, results via shared memory)",
         )
 
     run = sub.add_parser("run", help="mini-scale end-to-end execution")

@@ -50,7 +50,7 @@ class Vista:
     def __init__(self, model_name, num_layers, dataset, resources,
                  downstream_fn=None, downstream_spec=None, backend="spark",
                  model_profile="mini", plan=STAGED, defaults=None,
-                 dataset_stats=None, model_seed=0):
+                 dataset_stats=None, model_seed=0, exec_backend=None):
         self.model_name = model_name
         self.model_stats = get_model_stats(model_name)
         self.layers = self.model_stats.top_feature_layers(num_layers)
@@ -63,6 +63,9 @@ class Vista:
                 f"backend must be 'spark' or 'ignite', got {backend!r}"
             )
         self.backend = backend
+        #: Physical wave executor ("serial"/"process" or a Backend
+        #: instance); ``backend`` above is the memory-budget model.
+        self.exec_backend = exec_backend
         self.model_profile = model_profile
         self.plan = plan
         self.defaults = defaults or SystemDefaults()
@@ -120,6 +123,7 @@ class Vista:
             num_nodes=self.resources.num_nodes,
             cores_per_node=self.resources.cores_per_node,
             cpu=config.cpu,
+            exec_backend=self.exec_backend,
         )
 
     def run(self, plan=None, premat_layer=None, context=None,

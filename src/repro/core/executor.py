@@ -166,7 +166,10 @@ class FeatureTransferExecutor:
         self.checkpoint_store = checkpoint_store
         self.metrics = {}
         self._measured_table_bytes = {}
-        self._batched_fallbacks = 0
+        # Engine-level per-task counters live on the context so the
+        # process backend can diff them in a forked child and merge the
+        # deltas back; the serial backend mutates them in place.
+        context.task_counters = {}
         if tracer is not None:
             context.attach_tracer(tracer)
         self.tracer = getattr(context, "tracer", NULL_TRACER)
@@ -199,7 +202,7 @@ class FeatureTransferExecutor:
             "premat_flops": 0,
         }
         self._measured_table_bytes = {}
-        self._batched_fallbacks = 0
+        self.context.task_counters = {}
         self.context.reset_metrics()
         self.context.shuffle_bytes_total = 0
         config = self.config
@@ -275,6 +278,12 @@ class FeatureTransferExecutor:
             return None
         return (self.checkpoint_store, stage_id)
 
+    @property
+    def _batched_fallbacks(self):
+        """Singleton-group fallbacks this run (read-only view over the
+        context's task counters, where both backends accumulate)."""
+        return self.context.task_counters.get("batched_fallbacks", 0)
+
     def _op_timer_hook(self):
         """Per-operator hook for the CNN engine, as a ``(recorder,
         flush)`` pair: the recorder (a ``hook(name, seconds)``
@@ -295,9 +304,15 @@ class FeatureTransferExecutor:
             self.tracer.record_op if self.tracer.enabled else None
         )
         registry = self.metrics_registry
-        if not registry.enabled:
-            return tracer_record, None
+        if tracer_record is None and not registry.enabled:
+            self.context._op_samples = None
+            return None, None
+        # The samples dict hangs off the context so the process
+        # backend's forked children can diff it around a task and ship
+        # only the new samples back — the parent replays them into the
+        # tracer and the deferred histogram flush below.
         samples = {}
+        self.context._op_samples = samples
 
         if tracer_record is None:
 
@@ -315,6 +330,9 @@ class FeatureTransferExecutor:
                 if durations is None:
                     durations = samples[name] = []
                 durations.append(seconds)
+
+        if not registry.enabled:
+            return hook, None
 
         def flush():
             for name, durations in samples.items():
@@ -623,7 +641,10 @@ class FeatureTransferExecutor:
             for index, member in zip(indices, batch):
                 outputs[index] = member
         if fallbacks:
-            self._batched_fallbacks += fallbacks
+            counters = self.context.task_counters
+            counters["batched_fallbacks"] = (
+                counters.get("batched_fallbacks", 0) + fallbacks
+            )
             self.metrics_registry.counter(
                 "batched_fallback_total"
             ).inc(fallbacks)

@@ -181,10 +181,18 @@ class ResilientRunner:
                 checkpoint_store=self.checkpoint_store,
             )
             try:
-                with tracer.span(f"attempt:{attempt}", plan=plan.label,
-                                 cpu=config.cpu, join=config.join,
-                                 persistence=config.persistence):
-                    result = executor.run(plan, premat_layer=premat_layer)
+                try:
+                    with tracer.span(f"attempt:{attempt}", plan=plan.label,
+                                     cpu=config.cpu, join=config.join,
+                                     persistence=config.persistence):
+                        result = executor.run(plan, premat_layer=premat_layer)
+                finally:
+                    # Every attempt abandons its context on the way
+                    # out: sweep the backend so a crashed parallel
+                    # attempt cannot leak shared memory (a no-op for
+                    # the serial backend and for clean exits, which
+                    # unlink per wave).
+                    context.exec_backend.close()
             except WorkloadCrash as crash:
                 if attempt >= self.max_attempts:
                     raise

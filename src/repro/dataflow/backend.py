@@ -1,0 +1,680 @@
+"""Physical execution backends for the wave-based task engine.
+
+The scheduler in :mod:`repro.dataflow.executor` decides *what* runs —
+which partitions form a wave, who retries, who gets blacklisted. A
+:class:`Backend` decides *how* one wave's tasks actually execute:
+
+- :class:`SerialBackend` (the default) runs the wave's tasks
+  sequentially in-process, exactly as the engine always has. Memory is
+  still *accounted* as if ``cpu`` tasks run concurrently.
+- :class:`ProcessPoolBackend` runs each wave task in its own forked OS
+  process, so a wave of ``cpu`` tasks genuinely occupies ``cpu`` cores
+  and the ``cpu`` knob (the one Algorithm 1 exists to pick) finally
+  moves wall-clock time. Results travel back through POSIX shared
+  memory as VCB1 single-buffer encodings
+  (:meth:`~repro.dataflow.columnar.ColumnarBlock.to_buffer`), so image
+  tensors are never pickled; a dead child — real ``SIGKILL`` included —
+  surfaces as a genuine :class:`~repro.exceptions.WorkerLost` and flows
+  through the existing lineage/retry/blacklist machinery unchanged.
+
+Both backends expose one hook, :meth:`Backend.run_wave`, with the
+scheduler's full wave context; everything above the wave (regrouping,
+failover, commit barriers) is backend-agnostic.
+
+Fault-injection semantics are preserved exactly: the process backend
+screens ``injector.on_task_start`` in the *parent*, in wave order,
+before forking — injected crashes, OOMs, stragglers, and simulated
+worker losses fire at the same points with the same seeded RNG draws
+as the serial engine, which is what keeps recovered outputs
+bit-identical across backends. The one genuinely new fault kind,
+``worker-kill`` (:func:`repro.faults.plan.FaultPlan.worker_kill`),
+SIGKILLs the real child process — at fork (``phase="start"``) or after
+it created its shared-memory segment but before the payload transfer
+completed (``phase="transfer"``), the crash-mid-transfer case the
+leak tests cover.
+
+Shared-memory lifecycle: every segment name is drawn from a
+per-backend prefix (``vista<pid>x<seq>``) assigned by the parent
+*before* forking, so the parent can always unlink a segment whose
+child died at any point. Segments are unlinked as each result is
+copied out, and a wave-level cleanup sweep runs on every exit path;
+:meth:`ProcessPoolBackend.close` and :func:`orphaned_segments` exist
+so tests can assert nothing leaked.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import struct
+
+from repro.dataflow.columnar import ColumnarBlock
+from repro.exceptions import TaskFailure, WorkerLost, WorkloadCrash
+from repro.metrics import NULL_METRICS
+from repro.trace import NULL_TRACER
+
+#: Directory POSIX shared memory appears under on Linux; the leak
+#: tests scan it for orphaned ``vista*`` segments.
+SHM_DIR = "/dev/shm"
+
+_META_KILLED = "transfer-kill"
+
+
+class Backend:
+    """Protocol for one wave's physical execution.
+
+    ``run_wave`` receives the scheduler's full wave context and returns
+    the ``(position, result)`` pairs that succeeded; transient failures
+    go on ``retry_next`` via :func:`_handle_task_failure` and
+    :class:`~repro.exceptions.WorkerLost` propagates to the caller,
+    which discards the wave.
+    """
+
+    name = "abstract"
+
+    def run_wave(self, context, worker, wave, task_fn, region, charge_fn,
+                 what, attempts, retry_next, policy, injector, recovery,
+                 clock):
+        raise NotImplementedError
+
+    def close(self):
+        """Release any backend-held resources (idempotent)."""
+
+    def __repr__(self):
+        return f"<{type(self).__name__}>"
+
+
+class SerialBackend(Backend):
+    """The in-process engine: tasks run sequentially, deterministic
+    by construction, memory accounted as if ``cpu`` ran concurrently."""
+
+    name = "serial"
+
+    def run_wave(self, context, worker, wave, task_fn, region, charge_fn,
+                 what, attempts, retry_next, policy, injector, recovery,
+                 clock):
+        charged = 0
+        wave_results = []
+        tracer = getattr(context, "tracer", NULL_TRACER)
+        metrics = getattr(context, "metrics", NULL_METRICS)
+        # resolved once per wave: the per-task loop below is the hot path
+        tasks_counter = metrics.counter(
+            "tasks_total", worker=f"w{worker.node_id}"
+        )
+        try:
+            for position, partition in wave:
+                attempt = attempts[partition.index] = (
+                    attempts[partition.index] + 1
+                )
+                try:
+                    if injector is not None:
+                        injector.on_task_start(
+                            what=what, partition_index=partition.index,
+                            worker_id=worker.node_id, attempt=attempt,
+                        )
+                    result = task_fn(partition)
+                    worker.tasks_run += 1
+                    tracer.add("tasks")
+                    tasks_counter.inc()
+                    if charge_fn is not None:
+                        nbytes = charge_fn(partition, result)
+                        # count before charging: charge() increments used
+                        # before raising, so the finally block must
+                        # release it either way
+                        charged += nbytes
+                        tracer.add("charged_bytes", nbytes)
+                        worker.accountant.charge(region, nbytes, what=what)
+                except WorkerLost:
+                    raise
+                except Exception as exc:
+                    _handle_task_failure(
+                        context, worker, position, partition, attempt, exc,
+                        retry_next, policy, recovery, clock, what,
+                    )
+                else:
+                    wave_results.append((position, result))
+        finally:
+            worker.accountant.release(region, charged)
+        return wave_results
+
+
+class _Child:
+    """Parent-side bookkeeping for one forked wave task."""
+
+    __slots__ = ("position", "partition", "attempt", "pid", "read_fd",
+                 "shm_name", "kill_phase", "reaped")
+
+    def __init__(self, position, partition, attempt, pid, read_fd,
+                 shm_name, kill_phase):
+        self.position = position
+        self.partition = partition
+        self.attempt = attempt
+        self.pid = pid
+        self.read_fd = read_fd
+        self.shm_name = shm_name
+        self.kill_phase = kill_phase
+        self.reaped = False
+
+
+class ProcessPoolBackend(Backend):
+    """One forked OS process per wave task, results via shared memory.
+
+    Protocol per task (parent assigns the segment name pre-fork):
+
+    1. parent screens fault injection (wave order, parent RNG), then
+       forks; the child inherits ``task_fn`` and its partition — no
+       closure pickling, ever;
+    2. child runs the task, encodes the result (``ColumnarBlock`` →
+       VCB1 single buffer, anything else → pickle), creates the
+       named ``SharedMemory`` segment, sends a 1-byte handshake,
+       waits for the parent's ack, copies the payload in, then ships
+       a small pickled meta frame (segment size, encoding kind,
+       metric counter deltas, per-op timer samples) down its pipe and
+       ``os._exit(0)``s — no atexit, no inherited test harness;
+    3. parent collects in wave order: a child that died (killed,
+       crashed, torn pipe) raises :class:`WorkerLost` for the wave;
+       shipped task exceptions re-enter the normal retry path; results
+       are copied out of the segment (then unlinked immediately) and
+       charged to the worker's region exactly as the serial engine
+       charges them.
+
+    Counter deltas and op-timer samples recorded by the child merge
+    back into the *driver's* registries at collect time, so metrics
+    and traces look the same whichever backend ran the wave.
+    """
+
+    name = "process"
+
+    def __init__(self):
+        self._seq = 0
+        self.prefix = f"vista{os.getpid()}x"
+        self._live_segments = set()
+        self._tracker_ready = False
+
+    # ------------------------------------------------------------------
+    def _next_name(self):
+        self._seq += 1
+        return f"{self.prefix}{self._seq}"
+
+    def _ensure_tracker(self):
+        """Start the resource tracker before the first fork so every
+        child shares the parent's tracker process (their segment
+        registrations collapse into one set entry the parent's unlink
+        later clears — no leak warnings at shutdown)."""
+        if not self._tracker_ready:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+            self._tracker_ready = True
+
+    def live_segments(self):
+        """Names of segments this backend may still own (normally
+        empty between waves)."""
+        return set(self._live_segments)
+
+    def close(self):
+        """Unlink any segment still tracked (idempotent sweep)."""
+        for name in list(self._live_segments):
+            self._unlink_segment(name)
+
+    # ------------------------------------------------------------------
+    def run_wave(self, context, worker, wave, task_fn, region, charge_fn,
+                 what, attempts, retry_next, policy, injector, recovery,
+                 clock):
+        self._ensure_tracker()
+        charged = 0
+        wave_results = []
+        tracer = getattr(context, "tracer", NULL_TRACER)
+        metrics = getattr(context, "metrics", NULL_METRICS)
+        tasks_counter = metrics.counter(
+            "tasks_total", worker=f"w{worker.node_id}"
+        )
+        children = []
+        try:
+            # Phase 1 — screen injection and fork, in wave order. All
+            # surviving tasks run concurrently once forked.
+            for position, partition in wave:
+                attempt = attempts[partition.index] = (
+                    attempts[partition.index] + 1
+                )
+                try:
+                    if injector is not None:
+                        injector.on_task_start(
+                            what=what, partition_index=partition.index,
+                            worker_id=worker.node_id, attempt=attempt,
+                        )
+                except WorkerLost:
+                    raise
+                except Exception as exc:
+                    _handle_task_failure(
+                        context, worker, position, partition, attempt, exc,
+                        retry_next, policy, recovery, clock, what,
+                    )
+                    continue
+                kill_phase = None
+                if injector is not None:
+                    kill_phase = injector.on_task_fork(
+                        what=what, partition_index=partition.index,
+                        worker_id=worker.node_id, attempt=attempt,
+                    )
+                children.append(self._fork_task(
+                    context, position, partition, attempt, task_fn,
+                    kill_phase,
+                ))
+            # Phase 2 — collect in wave order; charges mirror the
+            # serial engine's and are released when the wave ends.
+            for child in children:
+                try:
+                    result = self._collect(context, child, worker)
+                    worker.tasks_run += 1
+                    tracer.add("tasks")
+                    tasks_counter.inc()
+                    if charge_fn is not None:
+                        nbytes = charge_fn(child.partition, result)
+                        charged += nbytes
+                        tracer.add("charged_bytes", nbytes)
+                        worker.accountant.charge(region, nbytes, what=what)
+                except WorkerLost:
+                    raise
+                except Exception as exc:
+                    _handle_task_failure(
+                        context, worker, child.position, child.partition,
+                        child.attempt, exc, retry_next, policy, recovery,
+                        clock, what,
+                    )
+                else:
+                    wave_results.append((child.position, result))
+        finally:
+            worker.accountant.release(region, charged)
+            self._cleanup_wave(children)
+        return wave_results
+
+    # ------------------------------------------------------------------
+    # fork side
+    # ------------------------------------------------------------------
+    def _fork_task(self, context, position, partition, attempt, task_fn,
+                   kill_phase):
+        shm_name = self._next_name()
+        meta_r, meta_w = os.pipe()
+        ack_r, ack_w = os.pipe()
+        self._live_segments.add(shm_name)
+        pid = os.fork()
+        if pid == 0:
+            # Child: never returns. os._exit keeps pytest/atexit
+            # machinery inherited over fork from ever running here.
+            code = 1
+            try:
+                os.close(meta_r)
+                os.close(ack_w)
+                _child_main(meta_w, ack_r, shm_name, task_fn, partition,
+                            context)
+                code = 0
+            except BaseException:
+                pass
+            finally:
+                os._exit(code)
+        os.close(meta_w)
+        os.close(ack_r)
+        if kill_phase == "start":
+            os.kill(pid, signal.SIGKILL)
+            os.close(ack_w)
+        elif kill_phase == "transfer":
+            # The ack is withheld: the child parks after creating its
+            # segment and dies there — deterministically mid-transfer.
+            pass
+        else:
+            os.write(ack_w, b"g")
+            os.close(ack_w)
+            ack_w = -1
+        return _Child(position, partition, attempt, pid, meta_r, shm_name,
+                      "ack:%d" % ack_w if kill_phase == "transfer"
+                      else kill_phase)
+
+    # ------------------------------------------------------------------
+    # collect side
+    # ------------------------------------------------------------------
+    def _collect(self, context, child, worker):
+        handshake = _read_exact(child.read_fd, 1)
+        if child.kill_phase and child.kill_phase.startswith("ack:"):
+            # crash-mid-transfer: the segment exists (handshake b"S"),
+            # the payload never lands; the withheld ack fd is closed
+            # after the kill so nothing dangles.
+            os.kill(child.pid, signal.SIGKILL)
+            os.close(int(child.kill_phase.split(":", 1)[1]))
+        meta = None
+        if handshake in (b"S", b"E"):
+            frame = _read_exact(child.read_fd, 4)
+            if len(frame) == 4:
+                (length,) = struct.unpack("<I", frame)
+                payload = _read_exact(child.read_fd, length)
+                if len(payload) == length:
+                    try:
+                        meta = pickle.loads(payload)
+                    except Exception:
+                        meta = None
+        os.close(child.read_fd)
+        child.read_fd = -1
+        _, status = os.waitpid(child.pid, 0)
+        child.reaped = True
+        code = os.waitstatus_to_exitcode(status)
+        if meta is None or code != 0:
+            self._unlink_segment(child.shm_name)
+            raise WorkerLost(
+                f"worker process {child.pid} died "
+                f"({_describe_exit(code)}) running partition "
+                f"{child.partition.index}",
+                worker_id=worker.node_id,
+            )
+        self._merge_child_state(context, meta)
+        if meta["status"] == "error":
+            self._unlink_segment(child.shm_name)
+            raise meta["exception"]
+        data = self._read_segment(child.shm_name, meta["size"])
+        if meta["kind"] == "block":
+            return ColumnarBlock.from_buffer(data)
+        return pickle.loads(data)
+
+    def _read_segment(self, name, size):
+        """Copy a child's payload out of its segment, then unlink it.
+        The copy (``bytes``) is what zero-copy ``from_buffer`` views
+        point into, so decoded arrays outlive the segment."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            data = bytes(shm.buf[:size])
+        finally:
+            shm.close()
+        self._unlink_segment(name)
+        return data
+
+    def _unlink_segment(self, name):
+        """Best-effort unlink; tolerates a segment the child never got
+        to create (killed pre-creation)."""
+        from multiprocessing import shared_memory
+
+        self._live_segments.discard(name)
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def _cleanup_wave(self, children):
+        """Exit-path sweep: kill and reap any child not yet collected,
+        unlink every segment the wave assigned. Runs on success too
+        (no-op by then) so no path can leak."""
+        for child in children:
+            if not child.reaped:
+                try:
+                    os.kill(child.pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+                try:
+                    os.waitpid(child.pid, 0)
+                except ChildProcessError:
+                    pass
+                child.reaped = True
+            if child.read_fd >= 0:
+                try:
+                    os.close(child.read_fd)
+                except OSError:
+                    pass
+                child.read_fd = -1
+            if child.kill_phase and child.kill_phase.startswith("ack:"):
+                try:
+                    os.close(int(child.kill_phase.split(":", 1)[1]))
+                except OSError:
+                    pass
+                child.kill_phase = "transfer"
+            self._unlink_segment(child.shm_name)
+
+    # ------------------------------------------------------------------
+    # child-state merge
+    # ------------------------------------------------------------------
+    def _merge_child_state(self, context, meta):
+        """Fold the child's observability deltas into the driver's
+        registries: counter totals advance by the child's increments,
+        per-op timer samples extend the executor's deferred-flush dict
+        (and replay onto the tracer's current span when tracing), and
+        engine-level task counters (batched fallbacks) accumulate on
+        the context."""
+        metrics = getattr(context, "metrics", NULL_METRICS)
+        if getattr(metrics, "enabled", False):
+            for (name, label_pairs), delta in meta.get("counters", ()):
+                if delta:
+                    metrics.counter(name, **dict(label_pairs)).inc(delta)
+        tracer = getattr(context, "tracer", NULL_TRACER)
+        op_samples = getattr(context, "_op_samples", None)
+        for op_name, seconds_list in meta.get("ops", {}).items():
+            if tracer.enabled:
+                for seconds in seconds_list:
+                    tracer.record_op(op_name, seconds)
+            if op_samples is not None:
+                op_samples.setdefault(op_name, []).extend(seconds_list)
+        task_counters = getattr(context, "task_counters", None)
+        if task_counters is not None:
+            for key, delta in meta.get("task_counters", {}).items():
+                task_counters[key] = task_counters.get(key, 0) + delta
+
+
+# ----------------------------------------------------------------------
+# child process body
+# ----------------------------------------------------------------------
+def _counter_snapshot(metrics):
+    """``{(name, label_pairs): total}`` for every counter in a live
+    registry (empty for NULL_METRICS)."""
+    if not getattr(metrics, "enabled", False):
+        return {}
+    return metrics.counter_totals()
+
+
+def _child_main(meta_w, ack_r, shm_name, task_fn, partition, context):
+    """Run one task inside the forked child and ship the outcome.
+
+    The child inherits the whole driver state by fork; it snapshots the
+    mutable observability surfaces first, runs ``task_fn``, and ships
+    only the *deltas* — parent-side state is never written from here.
+    """
+    from multiprocessing import shared_memory
+
+    metrics = getattr(context, "metrics", NULL_METRICS)
+    before_counters = _counter_snapshot(metrics)
+    op_samples = getattr(context, "_op_samples", None)
+    before_ops = (
+        {name: len(vals) for name, vals in op_samples.items()}
+        if op_samples is not None else {}
+    )
+    task_counters = getattr(context, "task_counters", None)
+    before_tasks = dict(task_counters) if task_counters is not None else {}
+
+    meta = {"status": "ok", "size": 0, "kind": "pickle"}
+    payload = b""
+    try:
+        result = task_fn(partition)
+        if isinstance(result, ColumnarBlock):
+            payload = result.to_buffer()
+            meta["kind"] = "block"
+        else:
+            payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        meta["size"] = len(payload)
+    except BaseException as exc:
+        meta = {"status": "error", "exception": _shippable(exc)}
+
+    after_counters = _counter_snapshot(metrics)
+    deltas = []
+    for key, total in after_counters.items():
+        delta = total - before_counters.get(key, 0)
+        if delta:
+            deltas.append((key, delta))
+    meta["counters"] = deltas
+    if op_samples is not None:
+        meta["ops"] = {
+            name: vals[before_ops.get(name, 0):]
+            for name, vals in op_samples.items()
+            if len(vals) > before_ops.get(name, 0)
+        }
+    if task_counters is not None:
+        meta["task_counters"] = {
+            key: value - before_tasks.get(key, 0)
+            for key, value in task_counters.items()
+            if value != before_tasks.get(key, 0)
+        }
+
+    if meta["status"] == "ok" and payload:
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, len(payload)), name=shm_name
+        )
+        os.write(meta_w, b"S")
+        _read_exact(ack_r, 1)  # parked here when the parent withholds
+        shm.buf[:len(payload)] = payload
+        shm.close()
+    else:
+        os.write(meta_w, b"E" if meta["status"] == "error" else b"S")
+        _read_exact(ack_r, 1)
+    frame = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+    os.write(meta_w, struct.pack("<I", len(frame)))
+    os.write(meta_w, frame)
+    os.close(meta_w)
+
+
+def _shippable(exc):
+    """An exception instance that survives the pickle trip; falls back
+    to a summary RuntimeError for exotic unpicklable errors."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _read_exact(fd, length):
+    """Read exactly ``length`` bytes; short data (EOF — the writer
+    died) returns what arrived."""
+    chunks = []
+    remaining = length
+    while remaining:
+        chunk = os.read(fd, remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _describe_exit(code):
+    if code < 0:
+        try:
+            return f"killed by {signal.Signals(-code).name}"
+        except ValueError:
+            return f"killed by signal {-code}"
+    return f"exit status {code}"
+
+
+# ----------------------------------------------------------------------
+# shared failure handling (used by both backends and the scheduler)
+# ----------------------------------------------------------------------
+def _handle_task_failure(context, worker, position, partition, attempt, exc,
+                         retry_next, policy, recovery, clock, what):
+    """Decide a failed task's fate: retry from lineage, hand a
+    deterministic memory crash to the supervisor, or raise a
+    structured TaskFailure."""
+    if getattr(exc, "transient", False) and attempt < policy.max_task_attempts:
+        worker.task_failures += 1
+        # keyed jitter: same-wave retries of different partitions
+        # desynchronize instead of stampeding a shared store together
+        backoff = policy.backoff_s(attempt, key=partition.index)
+        clock.advance(backoff)
+        getattr(context, "tracer", NULL_TRACER).add("task_retries")
+        getattr(context, "metrics", NULL_METRICS).counter(
+            "task_retries_total", worker=f"w{worker.node_id}",
+            fault=type(exc).__name__,
+        ).inc()
+        _record(recovery, clock, "task_retry", table=what,
+                partition=partition.index, worker=worker.node_id,
+                attempt=attempt, fault=type(exc).__name__,
+                backoff_s=backoff)
+        if worker.task_failures == policy.max_failures_per_worker:
+            _maybe_blacklist(context, worker, recovery, clock)
+        retry_next.append((position, partition))
+        return
+    if isinstance(exc, WorkloadCrash):
+        # Structural memory overflow (or a transient one out of retry
+        # budget): typed for the degrade-and-retry supervisor.
+        raise exc
+    # ``from exc`` keeps the original traceback on __cause__; the log
+    # entry mirrors the chain so post-mortems see *what* failed, not
+    # just the structured wrapper.
+    _record(recovery, clock, "task_failure", table=what,
+            partition=partition.index, worker=worker.node_id,
+            attempt=attempt, cause=type(exc).__name__, error=str(exc))
+    raise TaskFailure(
+        partition_index=partition.index, worker_id=worker.node_id,
+        attempt=attempt, cause=exc,
+    ) from exc
+
+
+def _maybe_blacklist(context, worker, recovery, clock):
+    """Blacklist a repeatedly failing worker — unless it is the last
+    one standing, in which case the cluster limps on."""
+    if worker.node_id in context.excluded_workers:
+        return
+    survivors = [
+        w for w in context.live_workers() if w.node_id != worker.node_id
+    ]
+    if not survivors:
+        _record(recovery, clock, "blacklist_suppressed",
+                worker=worker.node_id, reason="last live worker")
+        return
+    context.blacklist_worker(worker.node_id)
+    _record(recovery, clock, "blacklist", worker=worker.node_id,
+            reason="max task failures")
+
+
+def _record(recovery, clock, event, **fields):
+    if recovery is not None:
+        recovery.record(event, sim_time_s=clock.now, **fields)
+
+
+#: The process-wide serial backend every context defaults to.
+SERIAL_BACKEND = SerialBackend()
+
+#: Name -> constructor for the CLI / context plumbing.
+BACKENDS = {
+    "serial": SerialBackend,
+    "process": ProcessPoolBackend,
+}
+
+
+def resolve_backend(backend):
+    """Accept a :class:`Backend` instance, a name (``"serial"`` /
+    ``"process"``), or None (→ the shared serial backend)."""
+    if backend is None:
+        return SERIAL_BACKEND
+    if isinstance(backend, Backend):
+        return backend
+    try:
+        cls = BACKENDS[backend]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"backend must be one of {sorted(BACKENDS)} or a Backend "
+            f"instance, got {backend!r}"
+        ) from None
+    return SERIAL_BACKEND if cls is SerialBackend else cls()
+
+
+def orphaned_segments(prefix):
+    """Shared-memory segment names under ``prefix`` still present in
+    :data:`SHM_DIR` — the leak tests assert this is empty after
+    success, crash, and resume alike. Returns [] on platforms without
+    a /dev/shm."""
+    if not os.path.isdir(SHM_DIR):
+        return []
+    return sorted(
+        name for name in os.listdir(SHM_DIR) if name.startswith(prefix)
+    )

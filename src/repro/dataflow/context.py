@@ -47,12 +47,22 @@ class ClusterContext:
     cpu:
         Degree of parallelism actually used per worker (``cpu`` in
         Table 1B); defaults to ``cores_per_node``.
+    exec_backend:
+        Physical wave-execution backend: ``"serial"`` (default),
+        ``"process"``, or a :class:`~repro.dataflow.backend.Backend`
+        instance. Scheduling semantics are identical either way; the
+        process backend actually parallelizes each wave across forked
+        OS processes.
     """
 
-    def __init__(self, budget, num_nodes=1, cores_per_node=8, cpu=None):
+    def __init__(self, budget, num_nodes=1, cores_per_node=8, cpu=None,
+                 exec_backend=None):
+        from repro.dataflow.backend import resolve_backend
+
         self.num_nodes = int(num_nodes)
         self.cores_per_node = int(cores_per_node)
         self.cpu = int(cpu) if cpu is not None else self.cores_per_node
+        self.exec_backend = resolve_backend(exec_backend)
         self.workers = [Worker(i, budget) for i in range(self.num_nodes)]
         self.driver = MemoryAccountant(budget)
         self._next_table_id = 0
@@ -165,8 +175,15 @@ class ClusterContext:
 
 
 def local_context(system_gb=4, heap_gb=2, num_nodes=2, cores_per_node=4,
-                  cpu=None, backend="spark", storage_gb=None):
-    """Convenience constructor for small test/example clusters."""
+                  cpu=None, backend="spark", storage_gb=None,
+                  exec_backend=None):
+    """Convenience constructor for small test/example clusters.
+
+    ``backend`` picks the memory-budget *model* (spark/ignite);
+    ``exec_backend`` picks the physical wave executor (serial/process)
+    — orthogonal knobs with unfortunately similar names, kept for
+    compatibility with the paper's terminology.
+    """
     from repro.memory.spark import spark_memory_budget
     from repro.memory.ignite import ignite_memory_budget
 
@@ -184,5 +201,6 @@ def local_context(system_gb=4, heap_gb=2, num_nodes=2, cores_per_node=4,
     else:
         raise ValueError(f"backend must be 'spark' or 'ignite', got {backend!r}")
     return ClusterContext(
-        budget, num_nodes=num_nodes, cores_per_node=cores_per_node, cpu=cpu
+        budget, num_nodes=num_nodes, cores_per_node=cores_per_node, cpu=cpu,
+        exec_backend=exec_backend,
     )

@@ -1,13 +1,19 @@
 """Task execution with wave-based memory accounting and fault recovery.
 
-Tasks over partitions run deterministically (sequentially) but are
-*accounted* as if ``cpu`` tasks per worker run concurrently: tasks are
-grouped into waves of size ``cpu`` per worker, every task in a wave
-holds its memory charge until the wave completes, and the per-region
-accountants raise the Section 4.1 crash exceptions if a wave's
-combined footprint overflows a region. This reproduces the paper's
-"higher parallelism -> bigger footprint -> crash" behaviour without
-nondeterministic threading.
+Tasks are grouped into waves of size ``cpu`` per worker, every task in
+a wave holds its memory charge until the wave completes, and the
+per-region accountants raise the Section 4.1 crash exceptions if a
+wave's combined footprint overflows a region. This reproduces the
+paper's "higher parallelism -> bigger footprint -> crash" behaviour.
+
+*How* a wave's tasks physically execute is delegated to the context's
+:class:`~repro.dataflow.backend.Backend`: the default
+:class:`~repro.dataflow.backend.SerialBackend` runs them sequentially
+in-process (deterministic, accounted as if ``cpu`` ran concurrently),
+while :class:`~repro.dataflow.backend.ProcessPoolBackend` forks one OS
+process per wave task so ``cpu`` genuinely parallelizes the wave.
+Scheduling — regrouping, retries, blacklisting, failover, commit
+barriers — stays here and is identical across backends.
 
 On top of that sits the recovery layer. Because every table in this
 engine is eagerly materialized, a task's input partition *is* its
@@ -40,7 +46,14 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.exceptions import TaskFailure, WorkerLost, WorkloadCrash
+from repro.dataflow.backend import (  # noqa: F401  (re-exported: these
+    SERIAL_BACKEND,                   # lived here before backends split out)
+    _handle_task_failure,
+    _maybe_blacklist,
+    _record,
+    resolve_backend,
+)
+from repro.exceptions import WorkerLost
 from repro.faults.clock import SimulatedClock
 from repro.faults.retry import RetryPolicy
 from repro.memory.model import Region
@@ -80,7 +93,10 @@ def run_partition_tasks(context, partitions, task_fn, region=Region.USER,
     fires as each wave's results are committed (after the wave survived
     its memory charges and any injected faults), which is the hook the
     checkpoint layer uses for wave-granular durability: a partition
-    lost with a mid-wave ``WorkerLost`` is never reported committed.
+    lost with a mid-wave ``WorkerLost`` is never reported committed,
+    and the committed-position set guarantees the barrier fires
+    **exactly once per partition** even when retry rounds or a
+    parallel backend complete waves out of partition order.
     Results are returned in partition order; transient failures are
     retried from lineage as described in the module docstring.
     """
@@ -93,6 +109,7 @@ def run_partition_tasks(context, partitions, task_fn, region=Region.USER,
     tracer = getattr(context, "tracer", NULL_TRACER)
     tracer.add("partitions", len(partitions))
     pending = list(enumerate(partitions))
+    committed = set()
     while pending:
         retry_next = []
         # Regrouping each round is what reassigns a blacklisted
@@ -101,19 +118,25 @@ def run_partition_tasks(context, partitions, task_fn, region=Region.USER,
             _run_worker_share(
                 context, worker, items, task_fn, region, charge_fn, what,
                 results, attempts, retry_next, policy, injector, recovery,
-                clock, on_commit,
+                clock, on_commit, committed,
             )
-        pending = retry_next
+        # A partition already committed must never run again: a wave
+        # discarded *after* an earlier wave committed (worker lost
+        # between waves) reschedules only genuinely uncommitted work.
+        pending = [pair for pair in retry_next if pair[0] not in committed]
     return results
 
 
 def _run_worker_share(context, worker, items, task_fn, region, charge_fn,
                       what, results, attempts, retry_next, policy, injector,
-                      recovery, clock, on_commit=None):
+                      recovery, clock, on_commit=None, committed=None):
     """Run one worker's partitions in waves of ``context.cpu``."""
     tracer = getattr(context, "tracer", NULL_TRACER)
     metrics = getattr(context, "metrics", NULL_METRICS)
+    backend = getattr(context, "exec_backend", None) or SERIAL_BACKEND
     occupancy = metrics.gauge("wave_tasks", worker=f"w{worker.node_id}")
+    if committed is None:
+        committed = set()
     for start in range(0, len(items), context.cpu):
         wave = items[start:start + context.cpu]
         tracer.add("waves")
@@ -125,7 +148,7 @@ def _run_worker_share(context, worker, items, task_fn, region, charge_fn,
         try:
             if injector is not None:
                 injector.on_wave_start(worker.node_id, what=what)
-            wave_results = _run_wave(
+            wave_results = backend.run_wave(
                 context, worker, wave, task_fn, region, charge_fn, what,
                 attempts, retry_next, policy, injector, recovery, clock,
             )
@@ -146,6 +169,9 @@ def _run_worker_share(context, worker, items, task_fn, region, charge_fn,
             occupancy.set(0)
         by_position = dict(wave)
         for position, result in wave_results:
+            if position in committed:
+                continue  # the exactly-once commit barrier
+            committed.add(position)
             results[position] = result
             if on_commit is not None:
                 on_commit(by_position[position], result)
@@ -158,115 +184,6 @@ def _run_worker_share(context, worker, items, task_fn, region, charge_fn,
                 if pair[0] not in scheduled
             )
             return
-
-
-def _run_wave(context, worker, wave, task_fn, region, charge_fn, what,
-              attempts, retry_next, policy, injector, recovery, clock):
-    """Run one wave; returns the (position, result) pairs that
-    succeeded. Transient failures are scheduled on ``retry_next``
-    while the rest of the wave keeps running (concurrent peers finish
-    in a real cluster); WorkerLost propagates to the caller."""
-    charged = 0
-    wave_results = []
-    tracer = getattr(context, "tracer", NULL_TRACER)
-    metrics = getattr(context, "metrics", NULL_METRICS)
-    # resolved once per wave: the per-task loop below is the hot path
-    tasks_counter = metrics.counter("tasks_total", worker=f"w{worker.node_id}")
-    try:
-        for position, partition in wave:
-            attempt = attempts[partition.index] = attempts[partition.index] + 1
-            try:
-                if injector is not None:
-                    injector.on_task_start(
-                        what=what, partition_index=partition.index,
-                        worker_id=worker.node_id, attempt=attempt,
-                    )
-                result = task_fn(partition)
-                worker.tasks_run += 1
-                tracer.add("tasks")
-                tasks_counter.inc()
-                if charge_fn is not None:
-                    nbytes = charge_fn(partition, result)
-                    # count before charging: charge() increments used
-                    # before raising, so the finally block must
-                    # release it either way
-                    charged += nbytes
-                    tracer.add("charged_bytes", nbytes)
-                    worker.accountant.charge(region, nbytes, what=what)
-            except WorkerLost:
-                raise
-            except Exception as exc:
-                _handle_task_failure(
-                    context, worker, position, partition, attempt, exc,
-                    retry_next, policy, recovery, clock, what,
-                )
-            else:
-                wave_results.append((position, result))
-    finally:
-        worker.accountant.release(region, charged)
-    return wave_results
-
-
-def _handle_task_failure(context, worker, position, partition, attempt, exc,
-                         retry_next, policy, recovery, clock, what):
-    """Decide a failed task's fate: retry from lineage, hand a
-    deterministic memory crash to the supervisor, or raise a
-    structured TaskFailure."""
-    if getattr(exc, "transient", False) and attempt < policy.max_task_attempts:
-        worker.task_failures += 1
-        # keyed jitter: same-wave retries of different partitions
-        # desynchronize instead of stampeding a shared store together
-        backoff = policy.backoff_s(attempt, key=partition.index)
-        clock.advance(backoff)
-        getattr(context, "tracer", NULL_TRACER).add("task_retries")
-        getattr(context, "metrics", NULL_METRICS).counter(
-            "task_retries_total", worker=f"w{worker.node_id}",
-            fault=type(exc).__name__,
-        ).inc()
-        _record(recovery, clock, "task_retry", table=what,
-                partition=partition.index, worker=worker.node_id,
-                attempt=attempt, fault=type(exc).__name__,
-                backoff_s=backoff)
-        if worker.task_failures == policy.max_failures_per_worker:
-            _maybe_blacklist(context, worker, recovery, clock)
-        retry_next.append((position, partition))
-        return
-    if isinstance(exc, WorkloadCrash):
-        # Structural memory overflow (or a transient one out of retry
-        # budget): typed for the degrade-and-retry supervisor.
-        raise exc
-    # ``from exc`` keeps the original traceback on __cause__; the log
-    # entry mirrors the chain so post-mortems see *what* failed, not
-    # just the structured wrapper.
-    _record(recovery, clock, "task_failure", table=what,
-            partition=partition.index, worker=worker.node_id,
-            attempt=attempt, cause=type(exc).__name__, error=str(exc))
-    raise TaskFailure(
-        partition_index=partition.index, worker_id=worker.node_id,
-        attempt=attempt, cause=exc,
-    ) from exc
-
-
-def _maybe_blacklist(context, worker, recovery, clock):
-    """Blacklist a repeatedly failing worker — unless it is the last
-    one standing, in which case the cluster limps on."""
-    if worker.node_id in context.excluded_workers:
-        return
-    survivors = [
-        w for w in context.live_workers() if w.node_id != worker.node_id
-    ]
-    if not survivors:
-        _record(recovery, clock, "blacklist_suppressed",
-                worker=worker.node_id, reason="last live worker")
-        return
-    context.blacklist_worker(worker.node_id)
-    _record(recovery, clock, "blacklist", worker=worker.node_id,
-            reason="max task failures")
-
-
-def _record(recovery, clock, event, **fields):
-    if recovery is not None:
-        recovery.record(event, sim_time_s=clock.now, **fields)
 
 
 def charge_model_replicas(context, model_bytes, region=Region.DL,

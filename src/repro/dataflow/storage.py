@@ -77,13 +77,19 @@ class StorageManager:
     def _spill_to_disk(self, key, partition):
         """Write a spilled partition's serialized blob to a real file
         via tmp + rename. Failures leave no tmp residue and fall back
-        to the in-memory retained copy (the spill stays metered)."""
+        to the in-memory retained copy (the spill stays metered).
+
+        The file name carries the writing process's pid: under the
+        process execution backend a forked child inherits this manager,
+        and pid-scoping keeps a child's spill (discarded with the
+        child) from ever clobbering — or being trusted as — the
+        driver's copy of the same key."""
         if self.spill_dir is None:
             return
         from repro.recovery.store import atomic_write_bytes
 
         name = _UNSAFE_KEY.sub("-", str(key)).strip("-") or "partition"
-        path = os.path.join(self.spill_dir, f"{name}.spill")
+        path = os.path.join(self.spill_dir, f"{name}.p{os.getpid()}.spill")
         try:
             atomic_write_bytes(path, partition.serialized_blob(),
                                fsync=False)

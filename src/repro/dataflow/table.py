@@ -178,6 +178,12 @@ class DistributedTable:
             committed = {}
 
             def on_commit(partition, out):
+                if partition.index in committed:
+                    # The engine's commit barrier already guarantees
+                    # exactly-once; this belt-and-braces guard keeps a
+                    # future backend from ever double-writing a
+                    # checkpoint partition.
+                    return
                 part = to_partition(partition.index, out)
                 committed[partition.index] = part
                 store.put_partition(stage_id, part)

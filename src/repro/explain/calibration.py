@@ -129,10 +129,16 @@ class CalibrationReport:
 
 
 #: Drift gates: memory ratios are deterministic, runtime ratios divide
-#: a deterministic prediction by sub-millisecond measured spans whose
-#: wall-clock noise dominates — hence the asymmetric tolerances.
+#: a deterministic prediction by measured spans whose wall-clock noise
+#: dominates — hence the asymmetric tolerances. The runtime gate was
+#: 100x while the engine was serial-only (the cost model's parallelism
+#: term was unvalidatable, so the gate was a placeholder); with the
+#: process backend actually parallelizing waves, back-to-back
+#: calibration runs were measured to drift well under 10x even on
+#: noisy shared hosts, so the gate now sits at a measured band with
+#: headroom instead of a formality.
 MEMORY_DRIFT_GATE = 1.05
-RUNTIME_DRIFT_GATE = 100.0
+RUNTIME_DRIFT_GATE = 25.0
 
 
 def drift_violations(old_results, new_results,
@@ -293,4 +299,168 @@ def _dataset_stats(dataset):
         num_records=len(dataset),
         num_structured_features=dataset.num_structured_features,
         avg_image_bytes=int(dataset.image_rows[0]["image"].nbytes),
+    )
+
+
+# ----------------------------------------------------------------------
+# parallel-runtime calibration (process backend)
+# ----------------------------------------------------------------------
+@dataclass
+class ParallelCalibrationRow:
+    """One ``cpu`` setting's serial-vs-process wall-clock join."""
+
+    cpu: int
+    serial_feature_s: float = 0.0
+    process_feature_s: float = 0.0
+    serial_total_s: float = 0.0
+    process_total_s: float = 0.0
+    predicted_feature_s: float = 0.0
+    speedup: float = 0.0            # serial / process feature wall
+    parallel_ratio: float = None    # predicted / observed process wall
+
+    def to_dict(self):
+        return {
+            "cpu": self.cpu,
+            "serial_feature_s": self.serial_feature_s,
+            "process_feature_s": self.process_feature_s,
+            "serial_total_s": self.serial_total_s,
+            "process_total_s": self.process_total_s,
+            "predicted_feature_s": self.predicted_feature_s,
+            "speedup": self.speedup,
+            "parallel_ratio": self.parallel_ratio,
+        }
+
+
+@dataclass
+class ParallelCalibrationReport:
+    """Speedup curve + predicted-vs-actual parallel feature walls."""
+
+    model: str
+    num_records: int
+    plan: str
+    cores_available: int
+    rows: list
+
+    def to_dict(self):
+        return {
+            "model": self.model,
+            "num_records": self.num_records,
+            "plan": self.plan,
+            "cores_available": self.cores_available,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def results(self):
+        """Flat scalars for a trace/v2 ``results`` block. Wall-clock
+        fields and their ratios carry the ``capacity`` marker (host-
+        dependent; :func:`drift_violations` owns their comparison),
+        while ``cores_available`` is compared exactly — a speedup
+        recorded on a single-core host must never silently gate a
+        multi-core run's curve."""
+        flat = {"cores_available": self.cores_available}
+        for row in self.rows:
+            flat[f"speedup_capacity:cpu{row.cpu}"] = row.speedup
+            flat[f"process_feature_s_capacity:cpu{row.cpu}"] = (
+                row.process_feature_s
+            )
+            if row.parallel_ratio is not None:
+                flat[f"runtime_ratio_capacity:parallel:cpu{row.cpu}"] = (
+                    row.parallel_ratio
+                )
+        return flat
+
+
+def calibrate_parallel(cnn, dataset, layers, config, budget, num_nodes=2,
+                       cores_per_node=4, cpus=(1, 2, 4), plan=None,
+                       repeats=1, downstream_fn=None, user_alpha=2.0):
+    """Measure the staged plan's feature-stage wall clock per ``cpu``
+    on both backends, joined against the cost model's predicted
+    inference seconds — the parallel-runtime calibration the serial
+    engine could never provide (its ``cpu`` knob changed accounting,
+    not wall time).
+
+    For each ``cpu`` the serial baseline runs once and the process
+    backend runs ``repeats`` times (best wall kept — forks and shm
+    transfers add scheduling noise the cost model does not price).
+    Returns a :class:`ParallelCalibrationReport` whose speedup column
+    is serial/process on the *same* cpu value.
+    """
+    import os as _os
+
+    from dataclasses import replace as _replace
+
+    layers = list(layers)
+    plan = plan if plan is not None else ALL_PLANS["staged"]
+    plan_label = getattr(plan, "label", str(plan))
+    exec_stats = executable_model_stats(cnn)
+    dataset_stats = _dataset_stats(dataset)
+    cluster = params.ClusterSpec(
+        num_nodes=num_nodes,
+        cores_per_node=cores_per_node,
+        system_memory_bytes=budget.system_bytes,
+    )
+    rows = []
+    for cpu in cpus:
+        run_config = _replace(config, cpu=int(cpu))
+        walls = {}
+        for backend in ("serial", "process"):
+            best_feature, best_total = None, None
+            attempts = 1 if backend == "serial" else max(1, int(repeats))
+            for _ in range(attempts):
+                tracer = Tracer()
+                context = ClusterContext(
+                    budget, num_nodes=num_nodes,
+                    cores_per_node=cores_per_node, cpu=int(cpu),
+                    exec_backend=backend,
+                )
+                executor = FeatureTransferExecutor(
+                    context, cnn, dataset, layers, run_config,
+                    downstream_fn=downstream_fn or (lambda f, label: {}),
+                    tracer=tracer,
+                )
+                try:
+                    executor.run(plan)
+                finally:
+                    context.exec_backend.close()
+                trace = tracer.export()
+                feature = sum(
+                    spans_wall_seconds(trace, name)
+                    for name in STAGE_SPANS["inference"]
+                )
+                total = spans_wall_seconds(trace, "workload")
+                if best_feature is None or feature < best_feature:
+                    best_feature, best_total = feature, total
+            walls[backend] = (round(best_feature, 6), round(best_total, 6))
+        predicted = estimate_runtime(
+            exec_stats, layers, dataset_stats, plan,
+            _setup_from_budget(run_config, budget, f"cpu{cpu}"), cluster,
+            alpha=user_alpha, label=f"cpu{cpu}",
+        )
+        predicted_feature = round(
+            predicted.breakdown.get("inference", 0.0), 6
+        )
+        row = ParallelCalibrationRow(
+            cpu=int(cpu),
+            serial_feature_s=walls["serial"][0],
+            process_feature_s=walls["process"][0],
+            serial_total_s=walls["serial"][1],
+            process_total_s=walls["process"][1],
+            predicted_feature_s=predicted_feature,
+        )
+        if row.process_feature_s > 0:
+            row.speedup = round(
+                row.serial_feature_s / row.process_feature_s, 4
+            )
+            if predicted_feature > 0:
+                row.parallel_ratio = round(
+                    predicted_feature / row.process_feature_s, 4
+                )
+        rows.append(row)
+    return ParallelCalibrationReport(
+        model=cnn.name,
+        num_records=len(dataset),
+        plan=plan_label,
+        cores_available=len(_os.sched_getaffinity(0))
+        if hasattr(_os, "sched_getaffinity") else (_os.cpu_count() or 1),
+        rows=rows,
     )

@@ -19,6 +19,7 @@ from repro.faults.plan import (
     STRAGGLER,
     TASK_CRASH,
     TASK_OOM,
+    WORKER_KILL,
     WORKER_LOSS,
 )
 from repro.faults.retry import RecoveryLog, RetryPolicy
@@ -53,6 +54,7 @@ __all__ = [
     "SimulatedClock",
     "TASK_CRASH",
     "TASK_OOM",
+    "WORKER_KILL",
     "WORKER_LOSS",
     "equip_context",
 ]

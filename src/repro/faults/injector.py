@@ -28,6 +28,7 @@ from repro.faults.plan import (
     STRAGGLER,
     TASK_CRASH,
     TASK_OOM,
+    WORKER_KILL,
     WORKER_LOSS,
 )
 
@@ -87,6 +88,8 @@ class FaultInjector:
                 continue  # handled at wave boundaries
             if rule.kind in CHECKPOINT_KINDS:
                 continue  # fired by the checkpoint store's write hooks
+            if rule.kind == WORKER_KILL:
+                continue  # fired (and budgeted) by on_task_fork only
             if not rule.matches_task(what, partition_index, worker_id,
                                      attempt):
                 continue
@@ -115,6 +118,33 @@ class FaultInjector:
                     f"injected loss of worker {worker_id} at {where}",
                     worker_id=worker_id,
                 )
+
+    def on_task_fork(self, what, partition_index, worker_id, attempt):
+        """Called by the process backend just before it forks a child
+        for a task; returns the kill phase (``"start"`` /
+        ``"transfer"``) if a worker-kill rule fires, else None. The
+        backend SIGKILLs the real child at that point — this is the
+        only hook that consumes a worker-kill rule's ``times`` budget,
+        and the serial backend never calls it, so kill rules are inert
+        there by construction."""
+        for rule in self.plan:
+            if rule.kind != WORKER_KILL:
+                continue
+            if not rule.matches_task(what, partition_index, worker_id,
+                                     attempt):
+                continue
+            if not self._fires(rule):
+                continue
+            self.injected[WORKER_KILL] += 1
+            if self.recovery_log is not None:
+                self.recovery_log.record(
+                    "worker_kill", table=what, partition=partition_index,
+                    worker=worker_id, attempt=attempt,
+                    phase=rule.phase or "start",
+                    sim_time_s=self.clock.now,
+                )
+            return rule.phase or "start"
+        return None
 
     def on_checkpoint_write(self, stage_id, partition_index, path):
         """Called by the checkpoint store after a partition payload

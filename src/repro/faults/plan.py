@@ -19,15 +19,22 @@ TASK_CRASH = "task-crash"
 TASK_OOM = "task-oom"
 WORKER_LOSS = "worker-loss"
 STRAGGLER = "straggler"
+#: Real process death: SIGKILL the forked child running the matching
+#: task (process backend only; inert on the serial backend, which has
+#: no child to kill). ``phase`` picks the kill point — ``"start"``
+#: right after the fork, ``"transfer"`` after the child created its
+#: shared-memory segment but before the payload landed.
+WORKER_KILL = "worker-kill"
 #: Checkpoint-hostility kinds: prove recovery against a store that
 #: lies, not just one that is empty. ``table`` matches the stage id.
 CHECKPOINT_CORRUPT = "checkpoint-corrupt"
 CHECKPOINT_MISSING = "checkpoint-missing"
 CHECKPOINT_TORN = "checkpoint-torn"
 
-KINDS = (TASK_CRASH, TASK_OOM, WORKER_LOSS, STRAGGLER,
+KINDS = (TASK_CRASH, TASK_OOM, WORKER_LOSS, STRAGGLER, WORKER_KILL,
          CHECKPOINT_CORRUPT, CHECKPOINT_MISSING, CHECKPOINT_TORN)
 CHECKPOINT_KINDS = (CHECKPOINT_CORRUPT, CHECKPOINT_MISSING, CHECKPOINT_TORN)
+KILL_PHASES = ("start", "transfer")
 
 
 @dataclass(frozen=True)
@@ -50,11 +57,17 @@ class FaultRule:
     delay_s: float = 0.0           # straggler delay (simulated seconds)
     probability: float = 1.0
     times: int | None = 1
+    phase: str | None = None       # worker-kill point: start|transfer
 
     def __post_init__(self):
         if self.kind not in KINDS:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; choose from {KINDS}"
+            )
+        if self.phase is not None and self.phase not in KILL_PHASES:
+            raise ValueError(
+                f"unknown kill phase {self.phase!r}; choose from "
+                f"{KILL_PHASES}"
             )
 
     def matches_task(self, what, partition_index, worker_id, attempt):
@@ -140,6 +153,18 @@ class FaultPlan:
         when ``wave`` is None."""
         return self.add(FaultRule(
             WORKER_LOSS, worker=worker, wave=wave, table=table,
+            probability=probability, times=times,
+        ))
+
+    def worker_kill(self, worker=None, partition=None, attempt=None,
+                    table=None, phase="start", probability=1.0, times=1):
+        """SIGKILL the real child process running the matching task
+        (process backend). ``phase="transfer"`` kills it after its
+        shared-memory segment exists but before the result payload is
+        in — the crash-mid-transfer case the leak tests cover."""
+        return self.add(FaultRule(
+            WORKER_KILL, worker=worker, partition=partition,
+            attempt=attempt, table=table, phase=phase,
             probability=probability, times=times,
         ))
 

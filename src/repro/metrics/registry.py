@@ -306,6 +306,22 @@ class MetricsRegistry:
             matches.append(instrument)
         return matches
 
+    def counter_totals(self):
+        """``{(name, label_pairs): total}`` snapshot of every counter.
+
+        ``label_pairs`` is the sorted label tuple (base labels already
+        merged), so re-incrementing through ``counter(name,
+        **dict(label_pairs))`` addresses the same series. The process
+        backend snapshots this in the forked child before and after the
+        task and ships only the deltas back to the driver registry.
+        """
+        return {
+            (name, label_key): instrument.total
+            for (kind, name, label_key), instrument
+            in self._instruments.items()
+            if kind == "counter"
+        }
+
     def export(self):
         """JSON-safe dict of every series, ready for the ``metrics``
         block of a ``trace/v2`` envelope."""

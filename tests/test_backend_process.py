@@ -1,0 +1,421 @@
+"""The multiprocess execution backend: real forked workers, shared-
+memory result transport, real SIGKILL chaos, and the exactly-once
+commit barrier.
+
+Everything the serial fault suite asserts about *simulated* failures
+(`test_faults.py`) must hold when the failure is a real dead OS
+process: lineage recompute + blacklist produce bit-identical output, a
+``WorkerLost`` recovery event lands in the log, and — new with real
+transport — every ``SharedMemory`` segment is unlinked on success,
+crash, and resume alike (the shm analogue of the ``*.tmp`` reclaim
+tests in ``test_recovery.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.backend import (
+    ProcessPoolBackend,
+    SERIAL_BACKEND,
+    SerialBackend,
+    orphaned_segments,
+    resolve_backend,
+)
+from repro.dataflow.context import local_context
+from repro.dataflow.executor import run_partition_tasks
+from repro.dataflow.partition import Partition
+from repro.dataflow.table import DistributedTable
+from repro.exceptions import TaskFailure, WorkloadCrash
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    WORKER_KILL,
+    equip_context,
+)
+from repro.metrics import MetricsRegistry
+
+
+def _ctx(plan=None, seed=0, policy=None, num_nodes=2, cpu=4,
+         exec_backend="process"):
+    ctx = local_context(num_nodes=num_nodes, cores_per_node=4, cpu=cpu,
+                        exec_backend=exec_backend)
+    injector = FaultInjector(plan, seed=seed) if plan is not None else None
+    return equip_context(ctx, injector=injector, policy=policy)
+
+
+def _mapped_rows(ctx):
+    rows = [
+        {"id": i, "x": np.full((4, 4), i, dtype=np.float32)}
+        for i in range(24)
+    ]
+    table = DistributedTable.from_rows(ctx, rows, 8, name="t_in")
+    return table.map_partitions(
+        lambda rows: [{"id": r["id"], "x": r["x"] * 2.0} for r in rows],
+        name="t_out",
+    )
+
+
+def _assert_bit_identical(clean, recovered):
+    clean_rows = clean.to_rows_sorted()
+    recovered_rows = recovered.to_rows_sorted()
+    assert [r["id"] for r in clean_rows] == [
+        r["id"] for r in recovered_rows
+    ]
+    for a, b in zip(clean_rows, recovered_rows):
+        assert np.array_equal(a["x"], b["x"])
+
+
+# ---------------------------------------------------------------------
+# backend resolution
+# ---------------------------------------------------------------------
+def test_resolve_backend():
+    assert resolve_backend(None) is SERIAL_BACKEND
+    assert resolve_backend("serial") is SERIAL_BACKEND
+    assert isinstance(resolve_backend("process"), ProcessPoolBackend)
+    custom = ProcessPoolBackend()
+    assert resolve_backend(custom) is custom
+    with pytest.raises(ValueError, match="backend"):
+        resolve_backend("threads")
+
+
+def test_context_resolves_backend_names():
+    assert isinstance(
+        local_context().exec_backend, SerialBackend
+    )
+    ctx = local_context(exec_backend="process")
+    assert isinstance(ctx.exec_backend, ProcessPoolBackend)
+    # Two process contexts never share a segment namespace sequence.
+    other = local_context(exec_backend="process")
+    assert ctx.exec_backend is not other.exec_backend
+
+
+# ---------------------------------------------------------------------
+# plain execution parity
+# ---------------------------------------------------------------------
+def test_map_partitions_bit_identical_to_serial():
+    serial = _mapped_rows(local_context(num_nodes=2, cores_per_node=4))
+    ctx = local_context(num_nodes=2, cores_per_node=4, cpu=4,
+                        exec_backend="process")
+    process = _mapped_rows(ctx)
+    _assert_bit_identical(serial, process)
+    assert [w.tasks_run for w in ctx.workers] == [4, 4]
+
+
+def test_metrics_counters_match_serial():
+    """Child-process counter increments merge back into the driver
+    registry: engine counters come out identical to a serial run."""
+    totals = {}
+    for backend in ("serial", "process"):
+        ctx = local_context(num_nodes=2, cores_per_node=4, cpu=2,
+                            exec_backend=backend)
+        registry = MetricsRegistry()
+        ctx.attach_metrics(registry)
+        _mapped_rows(ctx)
+        totals[backend] = {
+            (name, labels): total
+            for (name, labels), total in registry.counter_totals().items()
+            if name in ("tasks_total", "waves_total")
+        }
+        ctx.exec_backend.close()
+    assert totals["serial"] == totals["process"]
+    assert sum(
+        t for (name, _), t in totals["process"].items()
+        if name == "tasks_total"
+    ) == 8
+
+
+def test_child_exception_ships_as_task_failure():
+    """A deterministic task error raised inside the forked child
+    re-enters the parent's normal failure dispatch: a structured
+    TaskFailure with the original exception as cause — not a dead
+    worker."""
+    ctx = _ctx(policy=RetryPolicy())
+    prefix = ctx.exec_backend.prefix
+
+    def task(partition):
+        if partition.index == 2:
+            raise ValueError("bad partition payload")
+        return partition.index
+
+    with pytest.raises(TaskFailure) as info:
+        run_partition_tasks(ctx, [Partition.from_rows(i, [{"id": i}])
+                                  for i in range(4)], task)
+    assert info.value.partition_index == 2
+    assert isinstance(info.value.cause, ValueError)
+    assert orphaned_segments(prefix) == []
+    failures = ctx.recovery_log.of("task_failure")
+    assert failures and failures[0]["cause"] == "ValueError"
+
+
+def test_transient_failure_in_child_is_retried_from_lineage(tmp_path):
+    """Transient errors raised *inside* a child retry exactly like
+    serial ones. Retry state cannot live in a closure (each attempt is
+    a fresh fork), so the task keys off a marker file."""
+    marker = tmp_path / "fired"
+    ctx = _ctx(policy=RetryPolicy(backoff_base_s=1.0))
+    prefix = ctx.exec_backend.prefix
+
+    def task(partition):
+        if partition.index == 1 and not marker.exists():
+            marker.write_text("1")
+            from repro.exceptions import TransientTaskOOM
+
+            raise TransientTaskOOM("transient child failure")
+        return partition.index * 10
+
+    results = run_partition_tasks(
+        ctx, [Partition.from_rows(i, [{"id": i}]) for i in range(4)], task
+    )
+    assert results == [0, 10, 20, 30]
+    retries = ctx.recovery_log.of("task_retry")
+    assert len(retries) == 1 and retries[0]["partition"] == 1
+    assert retries[0]["fault"] == "TransientTaskOOM"
+    assert orphaned_segments(prefix) == []
+
+
+# ---------------------------------------------------------------------
+# chaos: real SIGKILL worker death (satellite)
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("phase", ["start", "transfer"])
+def test_worker_kill_recovers_bit_identical(phase):
+    """Mirror of the simulated worker-loss assertions in
+    ``test_faults.py``, with a real SIGKILLed child: the wave dies, the
+    worker is blacklisted, lineage recompute fails the work over, and
+    the output is bit-identical — with no orphaned shm segments."""
+    clean = _mapped_rows(local_context(num_nodes=2, cores_per_node=4))
+    plan = FaultPlan().worker_kill(partition=5, phase=phase)
+    ctx = _ctx(plan, cpu=2)
+    prefix = ctx.exec_backend.prefix
+    recovered = _mapped_rows(ctx)
+    _assert_bit_identical(clean, recovered)
+    assert ctx.excluded_workers == {1}
+    kills = ctx.recovery_log.of("worker_kill")
+    assert kills == [{
+        "event": "worker_kill", "table": "map over t_in", "partition": 5,
+        "worker": 1, "attempt": 1, "phase": phase, "sim_time_s": 0.0,
+    }]
+    losses = ctx.recovery_log.of("worker_lost")
+    assert len(losses) == 1 and losses[0]["worker"] == 1
+    assert "SIGKILL" in losses[0]["fault"]
+    blacklists = ctx.recovery_log.of("blacklist")
+    assert blacklists == [{
+        "event": "blacklist", "worker": 1, "reason": "worker lost",
+        "sim_time_s": 0.0,
+    }]
+    assert ctx.fault_injector.injected[WORKER_KILL] == 1
+    assert orphaned_segments(prefix) == []
+
+
+def test_worker_kill_discards_in_flight_wave_peers():
+    """Killing one child fails the *whole* wave over: peers that
+    finished before the kill was collected are discarded, recomputed
+    on the surviving worker, and still commit exactly once."""
+    clean = _mapped_rows(local_context(num_nodes=2, cores_per_node=4))
+    plan = FaultPlan().worker_kill(partition=7, phase="start")
+    ctx = _ctx(plan, cpu=4)
+    recovered = _mapped_rows(ctx)
+    _assert_bit_identical(clean, recovered)
+    # Worker 1's wave of 4 died wholesale; worker 0 ran its own 4
+    # partitions plus all 4 failed-over ones.
+    assert ctx.workers[0].tasks_run == 8
+
+
+def test_worker_kill_rules_are_inert_on_serial_backend():
+    """The serial engine has no child process to kill: worker-kill
+    rules neither fire nor consume their ``times`` budget there, so a
+    chaos plan can run unchanged on both backends."""
+    plan = FaultPlan().worker_kill(partition=5, phase="start")
+    ctx = _ctx(plan, exec_backend="serial")
+    clean = _mapped_rows(local_context(num_nodes=2, cores_per_node=4))
+    out = _mapped_rows(ctx)
+    _assert_bit_identical(clean, out)
+    assert ctx.fault_injector.injected[WORKER_KILL] == 0
+    assert ctx.excluded_workers == set()
+    assert ctx.recovery_log.of("worker_kill") == []
+
+
+# ---------------------------------------------------------------------
+# shared-memory lifecycle (satellite): the shm analogue of the *.tmp
+# reclaim tests in test_recovery.py
+# ---------------------------------------------------------------------
+def test_no_orphaned_segments_after_success():
+    ctx = _ctx()
+    prefix = ctx.exec_backend.prefix
+    _mapped_rows(ctx)
+    assert ctx.exec_backend.live_segments() == set()
+    assert orphaned_segments(prefix) == []
+
+
+def test_no_orphaned_segments_after_crash_mid_transfer():
+    """The hardest leak case: the child died *between* creating its
+    segment and writing the payload. The parent owns the name (it
+    assigned it pre-fork) and must unlink it."""
+    plan = FaultPlan().worker_kill(partition=3, phase="transfer")
+    ctx = _ctx(plan, cpu=2)
+    prefix = ctx.exec_backend.prefix
+    _mapped_rows(ctx)
+    assert ctx.exec_backend.live_segments() == set()
+    assert orphaned_segments(prefix) == []
+
+
+def test_no_orphaned_segments_after_workload_crash():
+    """A WorkloadCrash aborts the run between waves; the wave-level
+    cleanup sweep plus the supervisor's backend close must leave
+    nothing in /dev/shm."""
+    ctx = _ctx()
+    prefix = ctx.exec_backend.prefix
+
+    def task(partition):
+        if partition.index == 3:
+            raise WorkloadCrash("injected structural crash")
+        return partition.index
+
+    with pytest.raises(WorkloadCrash):
+        run_partition_tasks(
+            ctx, [Partition.from_rows(i, [{"id": i}]) for i in range(6)],
+            task,
+        )
+    ctx.exec_backend.close()
+    assert orphaned_segments(prefix) == []
+
+
+def test_no_orphaned_segments_after_resume(tmp_path):
+    """Crash a checkpointed process-backend run after materialization,
+    resume it on a fresh process-backend context: outputs bit-identical
+    to an uninterrupted serial run, checkpoints restored, and neither
+    attempt leaked a segment."""
+    from repro.cnn import build_model
+    from repro.core.config import VistaConfig
+    from repro.core.executor import FeatureTransferExecutor
+    from repro.core.plans import ALL_PLANS
+    from repro.data import foods_dataset
+    from repro.recovery import CheckpointStore
+
+    model = build_model("alexnet", profile="mini")
+    dataset = foods_dataset(num_records=14, seed=5)
+    layers = model.feature_layers[-1:]
+    config = VistaConfig(
+        cpu=2, num_partitions=4, mem_storage_bytes=10**9,
+        mem_user_bytes=10**9, mem_dl_bytes=10**9,
+        join="shuffle", persistence="deserialized",
+    )
+
+    def downstream(features, labels):
+        return {"matrix": features.copy()}
+
+    def run(downstream_fn, store=None, backend="process"):
+        ctx = local_context(num_nodes=2, cores_per_node=4, cpu=config.cpu,
+                            exec_backend=backend)
+        prefix = getattr(ctx.exec_backend, "prefix", None)
+        executor = FeatureTransferExecutor(
+            ctx, model, dataset, layers, config,
+            downstream_fn=downstream_fn, checkpoint_store=store,
+        )
+        try:
+            result = executor.run(ALL_PLANS["staged"])
+        finally:
+            ctx.exec_backend.close()
+            if prefix is not None:
+                assert orphaned_segments(prefix) == []
+        return result
+
+    reference = run(downstream, backend="serial")
+
+    def crashing(features, labels):
+        raise WorkloadCrash("injected crash before downstream")
+
+    root = str(tmp_path / "ckpts")
+    with pytest.raises(WorkloadCrash):
+        run(crashing, store=CheckpointStore(root))
+
+    resumed_store = CheckpointStore(root)
+    resumed = run(downstream, store=resumed_store)
+    assert resumed_store.restore_total > 0
+    for layer in reference.layer_results:
+        assert np.array_equal(
+            resumed.layer_results[layer].downstream["matrix"],
+            reference.layer_results[layer].downstream["matrix"],
+        )
+
+
+def test_close_sweeps_tracked_segments():
+    """close() is the abandon-path backstop: any segment the backend
+    still tracks (e.g. the run aborted between assign and collect) is
+    unlinked, and close is idempotent."""
+    from multiprocessing import shared_memory
+
+    backend = ProcessPoolBackend()
+    name = backend._next_name()
+    backend._live_segments.add(name)
+    shm = shared_memory.SharedMemory(create=True, size=64, name=name)
+    shm.close()
+    assert orphaned_segments(backend.prefix) == [name]
+    backend.close()
+    assert orphaned_segments(backend.prefix) == []
+    assert backend.live_segments() == set()
+    backend.close()  # idempotent
+
+
+# ---------------------------------------------------------------------
+# exactly-once commit barrier (satellite)
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["serial", "process"])
+def test_on_commit_fires_exactly_once_out_of_order(backend):
+    """Out-of-order commit schedule: partition 0 fails transiently (so
+    it commits a full retry round *after* its peers) while a worker
+    dies between waves (so a discarded wave reschedules wholesale).
+    Every partition's commit barrier must still fire exactly once,
+    with the result it committed."""
+    plan = (
+        FaultPlan()
+        .task_crash(partition=0, attempt=1)
+        .worker_loss(worker=1, wave=2)
+    )
+    ctx = _ctx(plan, cpu=2, exec_backend=backend)
+    commits = {}
+
+    def on_commit(partition, result):
+        commits.setdefault(partition.index, []).append(result)
+
+    results = run_partition_tasks(
+        ctx, [Partition.from_rows(i, [{"id": i}]) for i in range(8)],
+        lambda p: p.index * 10, on_commit=on_commit,
+    )
+    assert results == [i * 10 for i in range(8)]
+    assert sorted(commits) == list(range(8))
+    assert all(len(v) == 1 for v in commits.values()), {
+        k: len(v) for k, v in commits.items() if len(v) != 1
+    }
+    assert all(commits[i] == [i * 10] for i in range(8))
+
+
+@pytest.mark.parametrize("backend", ["serial", "process"])
+def test_checkpoint_partitions_written_exactly_once(backend, tmp_path):
+    """The same barrier guards durable checkpoints: under the
+    out-of-order schedule each map_blocks partition lands in the store
+    exactly once (checkpoint_partitions_total counts puts)."""
+    from repro.dataflow.columnar import ColumnarBlock
+    from repro.recovery import CheckpointStore
+
+    plan = (
+        FaultPlan()
+        .task_crash(partition=0, attempt=1)
+        .worker_loss(worker=1, wave=2)
+    )
+    ctx = _ctx(plan, cpu=2, exec_backend=backend)
+    rows = [
+        {"id": i, "x": np.full(4, i, dtype=np.float32)} for i in range(16)
+    ]
+    table = DistributedTable.from_rows(ctx, rows, 8, name="t_in")
+    store = CheckpointStore(str(tmp_path)).bind_run("run-a")
+    table.map_blocks(
+        lambda block: ColumnarBlock(
+            {name: block.column(name) for name in block.column_names},
+            block.num_rows,
+        ),
+        name="t_out", checkpoint=(store, "stage-a"),
+    )
+    assert store.checkpoint_partitions_total == 8
+    if hasattr(ctx.exec_backend, "prefix"):
+        assert orphaned_segments(ctx.exec_backend.prefix) == []

@@ -24,6 +24,7 @@ from repro.faults import (
     FaultPlan,
     FaultRule,
     RetryPolicy,
+    WORKER_KILL,
     WORKER_LOSS,
     equip_context,
 )
@@ -247,6 +248,39 @@ def test_straggler_advances_clock_without_failing():
     assert ctx.fault_injector.clock.now == pytest.approx(7.5)
     assert ctx.recovery_log.of("straggler")[0]["delay_s"] == 7.5
     assert ctx.recovery_log.count("task_retry") == 0
+
+
+# ---------------------------------------------------------------------
+# worker-kill rules: fork-hook only (real SIGKILL, process backend)
+# ---------------------------------------------------------------------
+def test_worker_kill_budget_is_consumed_by_fork_hook_only():
+    """``on_task_start`` must not burn a worker-kill rule's ``times``
+    budget (the serial engine calls it for every task but has no child
+    to kill); only ``on_task_fork`` fires and consumes it."""
+    plan = FaultPlan().worker_kill(partition=2, times=1)
+    injector = FaultInjector(plan, seed=0)
+    # Serial-style start hooks: no firing, no budget consumed.
+    for _ in range(3):
+        injector.on_task_start("t", 2, worker_id=0, attempt=1)
+    assert injector.injected[WORKER_KILL] == 0
+    # The fork hook fires exactly once, then the budget is spent.
+    assert injector.on_task_fork("t", 2, worker_id=0, attempt=1) == "start"
+    assert injector.on_task_fork("t", 2, worker_id=0, attempt=1) is None
+    assert injector.injected[WORKER_KILL] == 1
+
+
+def test_worker_kill_fork_hook_respects_match_and_phase():
+    plan = FaultPlan().worker_kill(partition=1, phase="transfer", times=2)
+    injector = FaultInjector(plan, seed=0)
+    assert injector.on_task_fork("t", 0, worker_id=0, attempt=1) is None
+    assert (
+        injector.on_task_fork("t", 1, worker_id=0, attempt=1) == "transfer"
+    )
+
+
+def test_worker_kill_phase_is_validated():
+    with pytest.raises(ValueError, match="kill phase"):
+        FaultPlan().worker_kill(partition=0, phase="mid-flight")
 
 
 def _faulty_run(seed):

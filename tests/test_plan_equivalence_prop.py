@@ -89,14 +89,18 @@ def _downstream(features, labels):
 
 
 def _run_plan(model, dataset, layers, config, plan, downstream_fn=None,
-              checkpoint_store=None):
-    ctx = local_context(num_nodes=2, cores_per_node=4, cpu=config.cpu)
+              checkpoint_store=None, exec_backend=None):
+    ctx = local_context(num_nodes=2, cores_per_node=4, cpu=config.cpu,
+                        exec_backend=exec_backend)
     executor = FeatureTransferExecutor(
         ctx, model, dataset, list(layers), config,
         downstream_fn=downstream_fn or _downstream,
         checkpoint_store=checkpoint_store,
     )
-    return executor.run(plan)
+    try:
+        return executor.run(plan)
+    finally:
+        ctx.exec_backend.close()
 
 
 @pytest.mark.parametrize("seed", SEEDS)
@@ -124,6 +128,59 @@ def test_all_plans_equivalent(seed):
             assert got["f1_train"] == ref["f1_train"], (
                 f"seed {seed}: plan {name} downstream accuracy diverged "
                 f"on {layer}: {got['f1_train']} != {ref['f1_train']}"
+            )
+
+
+def _serialized_bytes_per_row(matrix):
+    """The VCB1 wire cost of the feature matrix, per row — the same
+    deterministic gauge ``bench_dataflow.py`` gates exactly; if the
+    backends ever disagreed on feature bytes, dtype, or layout, this
+    diverges even where values compare equal."""
+    from repro.dataflow.columnar import ColumnarBlock
+
+    block = ColumnarBlock.from_rows(
+        [{"features": row} for row in matrix]
+    )
+    return len(block.to_buffer()) / block.num_rows
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_backends_bit_identical(seed):
+    """Tentpole invariant: the process backend is purely a *physical*
+    change. For every seeded workload, every logical plan's feature
+    matrices, downstream F1, and serialized bytes per row are
+    byte-identical between the in-process serial engine and the
+    forked-OS-process backend (results shipped through shared
+    memory)."""
+    model_name, model, layers, dataset, config = workload_from_seed(seed)
+    for name, plan in ALL_PLANS.items():
+        serial = _run_plan(model, dataset, layers, config, plan,
+                           exec_backend="serial")
+        process = _run_plan(model, dataset, layers, config, plan,
+                            exec_backend="process")
+        assert sorted(process.layer_results) == sorted(
+            serial.layer_results
+        ), f"seed {seed} ({model_name}): {name} trained different layers"
+        for layer in serial.layer_results:
+            ref = serial.layer_results[layer].downstream
+            got = process.layer_results[layer].downstream
+            assert np.array_equal(got["matrix"], ref["matrix"]), (
+                f"seed {seed} ({model_name}, {config.join}/"
+                f"{config.persistence}, np={config.num_partitions}, "
+                f"cpu={config.cpu}): plan {name} diverged bitwise "
+                f"between backends on layer {layer}"
+            )
+            assert got["matrix"].dtype == ref["matrix"].dtype
+            assert got["f1_train"] == ref["f1_train"], (
+                f"seed {seed}: plan {name} downstream accuracy diverged "
+                f"between backends on {layer}"
+            )
+            assert (
+                _serialized_bytes_per_row(got["matrix"])
+                == _serialized_bytes_per_row(ref["matrix"])
+            ), (
+                f"seed {seed}: plan {name} wire-format bytes per row "
+                f"diverged between backends on {layer}"
             )
 
 
