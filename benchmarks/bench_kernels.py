@@ -61,6 +61,11 @@ MAX_TRACER_OVERHEAD = 0.05
 #: attached must cost less than this fraction of an uninstrumented run.
 MAX_METRICS_OVERHEAD = 0.05
 
+#: Acceptance bound: streaming a file-backed run ledger (span events,
+#: wave/task lifecycle, throttled metric samples) must cost less than
+#: this fraction of the same traced run without a ledger.
+MAX_LEDGER_OVERHEAD = 0.05
+
 
 def bench_model(name, profile, batch_size, repeats, tracer):
     """Time per-image vs batched inference for one zoo model under a
@@ -197,6 +202,74 @@ def bench_metrics_overhead(pairs=48):
     }, registry
 
 
+def bench_ledger_overhead(pairs=24):
+    """End-to-end traced Vista run with vs without a file-backed run
+    ledger, using the same paired alternating-order CPU-time estimator
+    as :func:`bench_metrics_overhead` (see there for why alternation
+    beats best-of under multiplicative machine noise). Both sides run
+    with a tracer attached — the ledger's marginal cost is what the
+    budget gates: the O_APPEND line writes for span/wave/task events
+    plus the barrier fsyncs.
+    """
+    import tempfile
+
+    from repro import Vista, default_resources
+    from repro.data import foods_dataset
+    from repro.observe import RunLedger
+    from repro.trace import Tracer
+
+    # Larger than the metrics bench workload on purpose: ledger cost is
+    # per *event* (partition/span bound), not per record, so more
+    # records grow the denominator without growing the event stream.
+    dataset = foods_dataset(num_records=640)
+
+    def make_vista():
+        return Vista(
+            model_name="alexnet", num_layers=3, dataset=dataset,
+            resources=default_resources(num_nodes=2),
+        )
+
+    def one(ledger=None):
+        vista = make_vista()  # built untimed
+        tracer = Tracer()
+        start = time.process_time()
+        vista.run(tracer=tracer, ledger=ledger)
+        elapsed = time.process_time() - start
+        if ledger is not None:
+            ledger.close()
+        return elapsed
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger_path = os.path.join(tmp, "bench.ledger.jsonl")
+
+        def make_ledger():
+            # Truncate between runs so the file never grows unbounded;
+            # append-mode open cost is part of what we measure.
+            open(ledger_path, "w").close()
+            return RunLedger(ledger_path)
+
+        warm_until = time.process_time() + 1.0
+        while time.process_time() < warm_until:
+            one(make_ledger())
+        plain_sum = ledgered_sum = 0.0
+        events = 0
+        for pair in range(max(8, pairs)):
+            ledger = make_ledger()
+            if pair % 2 == 0:
+                plain_sum += one()
+                ledgered_sum += one(ledger)
+            else:
+                ledgered_sum += one(ledger)
+                plain_sum += one()
+            events = len(ledger)
+    return {
+        "plain_seconds": plain_sum,
+        "ledgered_seconds": ledgered_sum,
+        "events_per_run": events,
+        "overhead_fraction": ledgered_sum / plain_sum - 1.0,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -235,6 +308,9 @@ def main(argv=None):
     metrics_overhead, metrics_registry = bench_metrics_overhead(
         pairs=24 if args.quick else 48
     )
+    ledger_overhead = bench_ledger_overhead(
+        pairs=12 if args.quick else 24
+    )
 
     print_table(
         f"Kernel microbenchmark ({args.profile} profile, "
@@ -262,6 +338,13 @@ def main(argv=None):
         f"(instrumented {metrics_overhead['instrumented_seconds']:.4f}s "
         f"vs plain {metrics_overhead['plain_seconds']:.4f}s)"
     )
+    print(
+        f"ledger overhead on a traced end-to-end run: "
+        f"{ledger_overhead['overhead_fraction'] * 100:.2f}% "
+        f"(ledgered {ledger_overhead['ledgered_seconds']:.4f}s vs "
+        f"plain {ledger_overhead['plain_seconds']:.4f}s, "
+        f"{ledger_overhead['events_per_run']} events/run)"
+    )
 
     best = max(r["speedup"] for r in results)
     if args.batch >= 32:
@@ -278,12 +361,18 @@ def main(argv=None):
         f"{metrics_overhead['overhead_fraction'] * 100:.2f}% exceeds "
         f"the {MAX_METRICS_OVERHEAD * 100:.0f}% budget"
     )
+    assert ledger_overhead["overhead_fraction"] < MAX_LEDGER_OVERHEAD, (
+        f"ledger overhead "
+        f"{ledger_overhead['overhead_fraction'] * 100:.2f}% exceeds "
+        f"the {MAX_LEDGER_OVERHEAD * 100:.0f}% budget"
+    )
     out_path = args.out or (None if args.quick else RESULT_PATH)
     if out_path:
         write_results(out_path, trace_payload(
             "kernels", results, trace=trace, metrics=metrics_registry,
             profile=args.profile, batch_size=args.batch, repeats=repeats,
             tracer_overhead=overhead, metrics_overhead=metrics_overhead,
+            ledger_overhead=ledger_overhead,
         ))
         print(f"\nwrote {out_path}")
     return results

@@ -1,0 +1,216 @@
+"""Benchmark: live-progress ETA accuracy against a real run ledger.
+
+Runs one seeded end-to-end feature-transfer workload on the process
+backend with a file-backed :class:`~repro.observe.RunLedger` and a
+:class:`~repro.observe.ProgressState` listening live — exactly the
+plumbing ``repro run --progress --ledger`` wires up — then scores the
+monitor the way a user would experience it: at the first progress
+snapshot past the halfway mark, how far off was the ETA from the wall
+time the run actually had left? The acceptance band is **within 2x
+either way** (``ratio`` in [0.5, 2.0]); the per-bucket online
+calibration in :mod:`repro.observe.progress` is what earns it, because
+the cost model's paper-scale stage predictions are orders of magnitude
+off at mini scale until observed stage times reprice them.
+
+The same ledger is then replayed through the rest of the
+observability stack as a self-check — ``obs/v1`` validation, the
+Perfetto exporter, and the committed ``slo/default.yaml`` ruleset —
+and the committed ``BENCH_observe.json`` envelope records all of it so
+future PRs have an ETA-accuracy trajectory to compare against. The
+result file is intentionally tracked in git: it is the record, not a
+scratch artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_observe.py [--quick]
+        [--records N] [--repeats R] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from harness import print_table, trace_payload, write_results  # noqa: E402
+
+from repro.core.api import Vista, default_resources  # noqa: E402
+from repro.data import foods_dataset  # noqa: E402
+from repro.observe import (  # noqa: E402
+    ProgressState,
+    RunLedger,
+    chrome_trace,
+    evaluate_slo,
+    has_breach,
+    load_rules,
+    predict_stage_plan,
+    read_ledger,
+    validate_chrome_trace,
+    validate_events,
+)
+from repro.trace import Tracer  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_observe.json")
+SLO_RULES = os.path.join(REPO_ROOT, "slo", "default.yaml")
+
+#: ISSUE acceptance band: halfway ETA within 2x of actual remaining.
+ETA_RATIO_BAND = (0.5, 2.0)
+
+
+def one_run(records, num_layers, ledger_path):
+    """One ledgered process-backend run; returns ``(state, events)``
+    where ``state`` is the live ProgressState and ``events`` the
+    in-memory ledger event list."""
+    vista = Vista(
+        model_name="alexnet",
+        num_layers=num_layers,
+        dataset=foods_dataset(num_records=records),
+        resources=default_resources(num_nodes=2),
+        exec_backend="process",
+    )
+    tracer = Tracer(name="bench_observe")
+    ledger = RunLedger(ledger_path)
+    config = vista.optimize()
+    stage_plan = predict_stage_plan(
+        vista.model_stats, vista.layers, vista.dataset_stats,
+        vista.plan, config, vista.resources, backend=vista.backend,
+    )
+    ledger.emit("stage_plan", plan=vista.plan.label,
+                stages=stage_plan.to_list())
+    state = ProgressState(stage_plan)
+    ledger.listeners.append(state)
+    vista.run(tracer=tracer, ledger=ledger)
+    ledger.emit("run_end", status="ok")
+    ledger.close()
+    return state, list(ledger.events), tracer
+
+
+def halfway_eta(state, events):
+    """Score the first snapshot at or past 50% predicted progress:
+    ``ratio`` = predicted remaining / actual remaining wall time."""
+    end_wall = next(
+        e["wall_s"] for e in events if e.get("kind") == "run_end"
+    )
+    for wall_s, fraction, eta_s, stage_key in state.snapshots:
+        if fraction >= 0.5:
+            actual_remaining = end_wall - wall_s
+            if actual_remaining <= 0:
+                continue
+            return {
+                "halfway_wall_s": wall_s,
+                "fraction": fraction,
+                "stage_key": stage_key,
+                "eta_s": eta_s,
+                "actual_remaining_s": actual_remaining,
+                "ratio": eta_s / actual_remaining,
+            }
+    raise AssertionError("no progress snapshot past the halfway mark")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats; skip writing the result file")
+    parser.add_argument("--records", type=int, default=192)
+    parser.add_argument("--layers", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--out", default=None,
+                        help="write the result envelope to this path even "
+                             "under --quick")
+    args = parser.parse_args(argv)
+    repeats = args.repeats or (1 if args.quick else 3)
+
+    rows = []
+    last_tracer = None
+    last_events = None
+    with tempfile.TemporaryDirectory() as tmp:
+        for repeat in range(repeats):
+            ledger_path = os.path.join(tmp, f"run{repeat}.ledger.jsonl")
+            state, events, tracer = one_run(
+                args.records, args.layers, ledger_path,
+            )
+            row = halfway_eta(state, events)
+            row["repeat"] = repeat
+            row["calibration_ratio"] = state.calibration_ratio()
+            row["events"] = len(events)
+            rows.append(row)
+            last_tracer = tracer
+            last_events = events
+            last_ledger_path = ledger_path
+
+        # Replay the final ledger through the rest of the stack: the
+        # file parses cleanly, validates as obs/v1, renders as a
+        # loadable Chrome trace, and clears the committed SLO gates.
+        parsed, parse_problems = read_ledger(last_ledger_path)
+        schema_problems = validate_events(parsed)
+        trace_doc = chrome_trace(trace=last_tracer.export(),
+                                 ledger_events=parsed)
+        trace_problems = validate_chrome_trace(trace_doc)
+        verdicts = evaluate_slo(load_rules(SLO_RULES), last_ledger_path)
+        replay = {
+            "ledger_events": len(parsed),
+            "parse_errors": len(parse_problems),
+            "schema_problems": len(schema_problems),
+            "perfetto_events": len(trace_doc["traceEvents"]),
+            "perfetto_problems": len(trace_problems),
+            "slo_rules": len(verdicts),
+            "slo_breaches": sum(
+                1 for v in verdicts if v.status == "breach"
+            ),
+        }
+
+    print_table(
+        f"Halfway-ETA accuracy ({args.records} records, "
+        f"{args.layers} layers, process backend, repeats={repeats})",
+        ["repeat", "at s", "frac", "eta s", "actual s", "ratio", "cal"],
+        [
+            (
+                r["repeat"],
+                f"{r['halfway_wall_s']:.2f}",
+                f"{r['fraction']:.2f}",
+                f"{r['eta_s']:.2f}",
+                f"{r['actual_remaining_s']:.2f}",
+                f"{r['ratio']:.2f}x",
+                f"{r['calibration_ratio']:.2f}",
+            )
+            for r in rows
+        ],
+    )
+    print(f"ledger replay: {replay}")
+
+    lo, hi = ETA_RATIO_BAND
+    median_ratio = statistics.median(r["ratio"] for r in rows)
+    assert lo <= median_ratio <= hi, (
+        f"median halfway ETA ratio {median_ratio:.2f}x outside "
+        f"[{lo}x, {hi}x]"
+    )
+    assert replay["parse_errors"] == 0, "ledger must parse cleanly"
+    assert replay["schema_problems"] == 0, "ledger must validate obs/v1"
+    assert replay["perfetto_problems"] == 0, (
+        "Perfetto export must be valid trace-event JSON"
+    )
+    assert replay["slo_breaches"] == 0, (
+        "a clean run must clear slo/default.yaml"
+    )
+
+    results = [dict(r, scenario="eta") for r in rows]
+    results.append(dict(replay, scenario="replay"))
+    out_path = args.out or RESULT_PATH
+    if args.out or not args.quick:
+        write_results(out_path, trace_payload(
+            "observe", results, trace=last_tracer,
+            records=args.records, layers=args.layers, repeats=repeats,
+            median_eta_ratio=median_ratio,
+            eta_ratio_band=list(ETA_RATIO_BAND),
+        ))
+        print(f"\nwrote {out_path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -153,6 +153,7 @@ COMMITTED_BENCHES = {
     "calibration": "BENCH_calibration.json",
     "dataflow": "BENCH_dataflow.json",
     "parallel": "BENCH_parallel.json",
+    "observe": "BENCH_observe.json",
 }
 
 

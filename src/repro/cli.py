@@ -17,13 +17,21 @@ run
 resume
     Pick up an interrupted checkpointed run: restore checksum-valid
     stage partitions from ``--checkpoint-dir``, recompute the rest.
+    Takes the same observability flags as ``run`` (``--trace``,
+    ``--metrics``, ``--progress``, ``--ledger``, ``--perfetto``).
 explain
     Show the complete Algorithm 1 candidate ledger (every cpu with its
     Eq. 9-15 terms and rejection reasons), optionally pricing a pinned
     what-if configuration.
+top
+    Render the live progress view of an ``obs/v1`` run ledger —
+    per-stage predicted-vs-observed seconds and the calibrated ETA —
+    or validate every ledger line against the schema.
 report
     Render a recorded metrics export (memory waterlines, crash
-    attribution) or diff two exports against a regression gate.
+    attribution), diff two exports against a regression gate, or
+    evaluate a declarative SLO ruleset (``--slo RULES TARGET``)
+    against an envelope or run ledger, exiting nonzero on breach.
 """
 
 from __future__ import annotations
@@ -48,6 +56,46 @@ def _add_workload_args(parser):
     parser.add_argument("--memory-gb", type=float, default=32.0)
     parser.add_argument("--cores", type=int, default=8)
     parser.add_argument("--gpu-gb", type=float, default=0.0)
+
+
+def _add_observability_args(parser):
+    """The one shared registration point for run-observability flags:
+    ``run`` and ``resume`` take the identical set, so a run
+    interrupted with a ledger can be resumed with a ledger."""
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record a span trace and print the flame-style summary",
+    )
+    parser.add_argument(
+        "--trace-json", metavar="PATH", default=None,
+        help="write the recorded trace as JSON to PATH",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="record time-series metrics and print the run report "
+             "(memory waterlines, predicted-vs-observed peaks)",
+    )
+    parser.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="write a trace/v2 envelope with the metrics block to PATH",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print live per-stage progress with a cost-model ETA "
+             "(online-calibrated predicted-vs-observed stage seconds)",
+    )
+    parser.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="stream an append-only obs/v1 run ledger to PATH as the "
+             "run executes; readable to the kill point even if the "
+             "run never returns (inspect with `repro top PATH`)",
+    )
+    parser.add_argument(
+        "--perfetto", metavar="PATH", default=None,
+        help="write a Chrome trace-event JSON (driver spans + wave "
+             "scheduler + forked-worker pid tracks) loadable in "
+             "ui.perfetto.dev",
+    )
 
 
 def _dataset_stats(name):
@@ -204,14 +252,54 @@ def _write_run_export(path, args, metrics_registry, tracer, result=None,
     print(f"metrics export written to {path}")
 
 
+def _make_ledger(args):
+    """Build the run ledger when any live-observability flag asks for
+    one: file-backed with ``--ledger PATH``, memory-only when only
+    ``--progress``/``--perfetto`` need the event stream."""
+    want = (
+        getattr(args, "ledger", None) is not None
+        or getattr(args, "progress", False)
+        or getattr(args, "perfetto", None) is not None
+    )
+    if not want:
+        return None
+    from repro.observe import RunLedger
+
+    return RunLedger(getattr(args, "ledger", None))
+
+
+def _finalize_ledger(args, ledger, tracer):
+    """Close out the run's observability artifacts (both the success
+    and the crash path run through here)."""
+    if ledger is None:
+        return
+    if getattr(args, "perfetto", None):
+        from repro.observe import write_chrome_trace
+
+        write_chrome_trace(
+            args.perfetto,
+            trace=tracer.export() if tracer is not None else None,
+            ledger=list(ledger.events),
+        )
+        print(f"perfetto trace written to {args.perfetto}")
+    ledger.close()
+    if ledger.path:
+        print(f"run ledger written to {ledger.path} "
+              f"({len(ledger)} events; inspect with `repro top "
+              f"{ledger.path}`)")
+
+
 def cmd_run(args):
     from repro import Vista
     from repro.core.config import Resources
     from repro.data import amazon_dataset, foods_dataset
     from repro.exceptions import WorkloadCrash
 
+    ledger = _make_ledger(args)
     tracer = None
-    if args.trace or args.trace_json:
+    if args.trace or args.trace_json or ledger is not None:
+        # The ledger's span/progress events come from the tracer sink,
+        # so any live-observability flag implies a tracer.
         from repro.trace import Tracer
 
         tracer = Tracer()
@@ -242,10 +330,31 @@ def cmd_run(args):
     )
     config = vista.optimize(tracer=tracer, metrics=metrics_registry)
     print(f"optimizer: {config.describe()}")
+    if ledger is not None:
+        from repro.observe import ProgressRenderer, predict_stage_plan
+
+        ledger.emit(
+            "run_meta", model=args.model, dataset=args.dataset,
+            records=args.records, nodes=args.nodes,
+            layers=args.layers or 2,
+            exec_backend=getattr(args, "backend", None) or "serial",
+        )
+        stage_plan = predict_stage_plan(
+            vista.model_stats, vista.layers, vista.dataset_stats,
+            vista.plan, config, vista.resources, backend=vista.backend,
+        )
+        ledger.emit("stage_plan", plan=vista.plan.label,
+                    stages=stage_plan.to_list())
+        if args.progress:
+            ledger.listeners.append(ProgressRenderer(stage_plan))
     try:
         result = vista.run(tracer=tracer, metrics=metrics_registry,
-                           checkpoint_store=checkpoint_store)
+                           checkpoint_store=checkpoint_store,
+                           ledger=ledger)
     except WorkloadCrash as crash:
+        if ledger is not None:
+            ledger.emit("run_end",
+                        status=f"crash:{type(crash).__name__}")
         print(f"CRASHED: {type(crash).__name__}: {crash}")
         if checkpoint_store is not None:
             print(
@@ -264,7 +373,10 @@ def cmd_run(args):
                     args.metrics_json, args, metrics_registry, tracer,
                     crash=crash,
                 )
+        _finalize_ledger(args, ledger, tracer)
         return 1
+    if ledger is not None:
+        ledger.emit("run_end", status="ok")
     for layer, layer_result in result.layer_results.items():
         print(f"  {layer:10s} dim={layer_result.feature_dim:<6d} "
               f"train F1={layer_result.downstream['f1_train']:.3f}")
@@ -297,6 +409,7 @@ def cmd_run(args):
                 args.metrics_json, args, metrics_registry, tracer,
                 result=result,
             )
+    _finalize_ledger(args, ledger, tracer)
     return 0
 
 
@@ -369,6 +482,88 @@ def cmd_explain(args):
     return 0 if result.feasible else 1
 
 
+def _progress_from_events(events):
+    """Rebuild the progress view a ledger recorded: the ``stage_plan``
+    event restores the cost-model predictions, then every event
+    replays through the same :class:`ProgressState` the live monitor
+    uses. None when the ledger carries no stage plan."""
+    from repro.observe import ProgressState, StagePlan
+
+    plan_event = next(
+        (e for e in events if e.get("kind") == "stage_plan"), None
+    )
+    if plan_event is None or not plan_event.get("stages"):
+        return None
+    state = ProgressState(StagePlan.from_list(
+        plan_event["stages"], plan_label=plan_event.get("plan")
+    ))
+    for event in events:
+        state.on_event(event)
+    return state
+
+
+def _render_ledger_summary(events, problems):
+    kinds = {}
+    for event in events:
+        kind = event.get("kind", "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+    last_wall = max(
+        (float(e.get("wall_s") or 0.0) for e in events), default=0.0
+    )
+    lines = [f"### ledger — {len(events)} events, "
+             f"{last_wall:.3f}s of run recorded"]
+    for kind in sorted(kinds):
+        lines.append(f"  {kind:<20s} {kinds[kind]:>6d}")
+    for problem in problems:
+        lines.append(f"  parse problem: {problem}")
+    return "\n".join(lines)
+
+
+def cmd_top(args):
+    from repro.observe import read_ledger, render_progress, validate_events
+
+    def load():
+        return read_ledger(args.ledger)
+
+    try:
+        events, problems = load()
+    except OSError as exc:
+        print(f"top: cannot read {args.ledger!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.validate:
+        schema_problems = validate_events(events)
+        for problem in problems:
+            print(f"parse: {problem}")
+        for problem in schema_problems:
+            print(f"schema: {problem}")
+        print(f"{len(events)} events, {len(problems)} parse problem(s), "
+              f"{len(schema_problems)} schema problem(s)")
+        return 1 if (problems or schema_problems) else 0
+
+    def render(events, problems):
+        state = _progress_from_events(events)
+        if state is None:
+            print(_render_ledger_summary(events, problems))
+            return state
+        print(render_progress(state))
+        return state
+
+    state = render(events, problems)
+    while args.follow:
+        if any(e.get("kind") == "run_end" for e in events):
+            break
+        import time
+
+        time.sleep(args.interval)
+        events, problems = load()
+        print()
+        state = render(events, problems)
+    if state is not None and not state.run_ended:
+        # No run_end: the run is live — or was killed mid-flight.
+        print("  (no run_end event: run still in flight, or killed)")
+    return 0
+
+
 def cmd_report(args):
     from repro.report import (
         compare,
@@ -377,6 +572,30 @@ def cmd_report(args):
         render_report,
     )
 
+    if getattr(args, "slo", None):
+        if not args.target:
+            print("report --slo RULES requires a TARGET "
+                  "(trace/v2 envelope or obs/v1 ledger)",
+                  file=sys.stderr)
+            return 2
+        from repro.observe import (
+            evaluate_slo,
+            has_breach,
+            load_rules,
+            render_slo,
+        )
+
+        try:
+            rules = load_rules(args.slo)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"report: bad ruleset {args.slo!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        verdicts = evaluate_slo(rules, args.target, baseline=args.baseline)
+        print(render_slo(
+            verdicts, title=f"SLO {args.slo} vs {args.target}"
+        ))
+        return 1 if has_breach(verdicts) else 0
     if args.compare:
         old_path, new_path = args.compare
         rows = compare(old_path, new_path, gate=args.gate)
@@ -420,23 +639,7 @@ def build_parser():
     def _add_run_args(sub_parser):
         _add_workload_args(sub_parser)
         sub_parser.add_argument("--records", type=int, default=80)
-        sub_parser.add_argument(
-            "--trace", action="store_true",
-            help="record a span trace and print the flame-style summary",
-        )
-        sub_parser.add_argument(
-            "--trace-json", metavar="PATH", default=None,
-            help="write the recorded trace as JSON to PATH",
-        )
-        sub_parser.add_argument(
-            "--metrics", action="store_true",
-            help="record time-series metrics and print the run report "
-                 "(memory waterlines, predicted-vs-observed peaks)",
-        )
-        sub_parser.add_argument(
-            "--metrics-json", metavar="PATH", default=None,
-            help="write a trace/v2 envelope with the metrics block to PATH",
-        )
+        _add_observability_args(sub_parser)
         sub_parser.add_argument(
             "--backend", default="serial", choices=["serial", "process"],
             help="physical wave executor: 'serial' (deterministic "
@@ -509,8 +712,45 @@ def build_parser():
              "of rendering",
     )
 
+    top = sub.add_parser(
+        "top",
+        help="live progress view of an obs/v1 run ledger (per-stage "
+             "predicted-vs-observed seconds, calibrated ETA)",
+    )
+    top.add_argument("ledger", metavar="LEDGER",
+                     help="path to an obs/v1 run ledger (JSONL)")
+    top.add_argument(
+        "--validate", action="store_true",
+        help="validate every ledger line against the obs/v1 schema "
+             "instead of rendering; exit 1 on any problem",
+    )
+    top.add_argument(
+        "--follow", action="store_true",
+        help="keep re-rendering until the ledger records run_end",
+    )
+    top.add_argument("--interval", type=float, default=0.5,
+                     help="poll interval for --follow, in seconds")
+
     report = sub.add_parser(
-        "report", help="render or diff recorded metrics exports"
+        "report",
+        help="render/diff recorded metrics exports, or evaluate an "
+             "SLO ruleset against an envelope or ledger",
+    )
+    report.add_argument(
+        "target", nargs="?", metavar="TARGET", default=None,
+        help="for --slo: the trace/v2 envelope or obs/v1 ledger to "
+             "evaluate",
+    )
+    report.add_argument(
+        "--slo", metavar="RULES", default=None,
+        help="evaluate the declarative SLO ruleset (YAML subset or "
+             "JSON) against TARGET; exit 1 on any breach-severity "
+             "violation",
+    )
+    report.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline envelope for baseline-ratio / baseline-equal "
+             "SLO rules",
     )
     report.add_argument(
         "--metrics-json", metavar="FILE", default=None,
@@ -540,6 +780,7 @@ def main(argv=None):
         "run": cmd_run,
         "resume": cmd_resume,
         "explain": cmd_explain,
+        "top": cmd_top,
         "report": cmd_report,
     }
     return handlers[args.command](args)

@@ -128,7 +128,7 @@ class Vista:
 
     def run(self, plan=None, premat_layer=None, context=None,
             feature_store=None, tracer=None, metrics=None,
-            checkpoint_store=None):
+            checkpoint_store=None, ledger=None):
         """Optimize, configure, and execute the workload end to end.
 
         ``feature_store`` (a :class:`~repro.features.store.FeatureStore`)
@@ -148,6 +148,13 @@ class Vista:
         config = self._config or self.optimize(
             tracer=tracer, metrics=metrics
         )
+        if ledger is not None and ledger.enabled:
+            ledger.emit(
+                "optimizer_decision", plan=(plan or self.plan).label,
+                cpu=config.cpu, join=config.join,
+                persistence=config.persistence,
+                num_partitions=config.num_partitions,
+            )
         context = context or self.build_context(config)
         cnn = build_model(
             self.model_name, profile=self.model_profile, seed=self.model_seed
@@ -156,7 +163,7 @@ class Vista:
             context, cnn, self.dataset, self.layers, config,
             downstream_fn=self.downstream_fn, feature_store=feature_store,
             tracer=tracer, metrics=metrics,
-            checkpoint_store=checkpoint_store,
+            checkpoint_store=checkpoint_store, ledger=ledger,
         )
         return executor.run(plan or self.plan, premat_layer=premat_layer)
 
@@ -191,7 +198,7 @@ class Vista:
     def run_resilient(self, plan=None, premat_layer=None, fault_plan=None,
                       seed=0, retry_policy=None, max_attempts=16,
                       feature_store=None, tracer=None, metrics=None,
-                      checkpoint_store=None):
+                      checkpoint_store=None, ledger=None):
         """Run under the :class:`~repro.core.resilient.ResilientRunner`
         supervisor: transient task failures are retried from lineage,
         lost workers are blacklisted, and Section 4.1 crashes are
@@ -213,7 +220,7 @@ class Vista:
             self, fault_plan=fault_plan, seed=seed,
             retry_policy=retry_policy, max_attempts=max_attempts,
             tracer=tracer, metrics=metrics,
-            checkpoint_store=checkpoint_store,
+            checkpoint_store=checkpoint_store, ledger=ledger,
         )
         return runner.run(
             plan=plan, premat_layer=premat_layer, feature_store=feature_store

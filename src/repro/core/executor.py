@@ -30,6 +30,7 @@ from repro.features.pooling import (
 )
 from repro.memory.model import Region
 from repro.metrics import NULL_METRICS
+from repro.observe.ledger import NULL_LEDGER
 from repro.ml.logistic import LogisticRegression
 from repro.ml.metrics import f1_score
 from repro.tensor.tensorlist import TensorList
@@ -148,7 +149,7 @@ class FeatureTransferExecutor:
     def __init__(self, context, cnn, dataset, layers, config,
                  downstream_fn=None, model_mem_bytes=None, pool_grid=2,
                  user_alpha=2.0, feature_store=None, tracer=None,
-                 metrics=None, checkpoint_store=None):
+                 metrics=None, checkpoint_store=None, ledger=None):
         self.context = context
         self.cnn = cnn
         self.dataset = dataset
@@ -176,6 +177,10 @@ class FeatureTransferExecutor:
         if metrics is not None:
             context.attach_metrics(metrics)
         self.metrics_registry = getattr(context, "metrics", NULL_METRICS)
+        if ledger is not None:
+            # After tracer/metrics so the ledger sinks land on them.
+            context.attach_ledger(ledger)
+        self.ledger = getattr(context, "ledger", NULL_LEDGER)
         np_ = config.num_partitions
         with self.tracer.span("read") as sp:
             self.tstr = DistributedTable.from_rows(

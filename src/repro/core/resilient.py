@@ -40,6 +40,7 @@ from repro.dataflow.partition import DESERIALIZED, SERIALIZED
 from repro.exceptions import NoFeasiblePlan, WorkloadCrash
 from repro.faults.retry import RecoveryLog, RetryPolicy
 from repro.metrics import NULL_METRICS
+from repro.observe.ledger import NULL_LEDGER
 from repro.trace import NULL_TRACER
 
 
@@ -110,7 +111,8 @@ class ResilientRunner:
 
     def __init__(self, vista, fault_plan=None, seed=0, injector=None,
                  retry_policy=None, max_attempts=16, recovery_log=None,
-                 tracer=None, metrics=None, checkpoint_store=None):
+                 tracer=None, metrics=None, checkpoint_store=None,
+                 ledger=None):
         if injector is None and fault_plan is not None:
             from repro.faults import FaultInjector
 
@@ -124,6 +126,11 @@ class ResilientRunner:
         )
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.ledger = ledger if ledger is not None else NULL_LEDGER
+        if self.ledger.enabled:
+            # Recovery actions are barrier events in the run ledger:
+            # every retry/resume/degrade step streams out durably.
+            self.recovery_log.sink = self.ledger
         self.checkpoint_store = checkpoint_store
         # Valid-partition count at the last resume decision: resume is
         # chosen only while the store keeps *growing* between crashes,
@@ -179,6 +186,7 @@ class ResilientRunner:
                 tracer=tracer if tracer.enabled else None,
                 metrics=metrics if metrics.enabled else None,
                 checkpoint_store=self.checkpoint_store,
+                ledger=self.ledger if self.ledger.enabled else None,
             )
             try:
                 try:

@@ -227,6 +227,8 @@ class ProcessPoolBackend(Backend):
         wave_results = []
         tracer = getattr(context, "tracer", NULL_TRACER)
         metrics = getattr(context, "metrics", NULL_METRICS)
+        ledger = getattr(context, "ledger", None)
+        ledger_on = ledger is not None and ledger.enabled
         tasks_counter = metrics.counter(
             "tasks_total", worker=f"w{worker.node_id}"
         )
@@ -258,10 +260,18 @@ class ProcessPoolBackend(Backend):
                         what=what, partition_index=partition.index,
                         worker_id=worker.node_id, attempt=attempt,
                     )
-                children.append(self._fork_task(
+                child = self._fork_task(
                     context, position, partition, attempt, task_fn,
                     kill_phase,
-                ))
+                )
+                children.append(child)
+                if ledger_on:
+                    # The parent emits on the child's behalf: the
+                    # forked process inherits the ledger fd but its
+                    # emit() is an owner-pid-guarded no-op.
+                    ledger.emit("task_fork", pid=child.pid,
+                                partition=partition.index,
+                                attempt=attempt, what=what)
             # Phase 2 — collect in wave order; charges mirror the
             # serial engine's and are released when the wave ends.
             for child in children:
@@ -276,14 +286,26 @@ class ProcessPoolBackend(Backend):
                         tracer.add("charged_bytes", nbytes)
                         worker.accountant.charge(region, nbytes, what=what)
                 except WorkerLost:
+                    if ledger_on:
+                        ledger.emit("task_collect", pid=child.pid,
+                                    partition=child.partition.index,
+                                    status="worker-lost")
                     raise
                 except Exception as exc:
+                    if ledger_on:
+                        ledger.emit("task_collect", pid=child.pid,
+                                    partition=child.partition.index,
+                                    status=f"error:{type(exc).__name__}")
                     _handle_task_failure(
                         context, worker, child.position, child.partition,
                         child.attempt, exc, retry_next, policy, recovery,
                         clock, what,
                     )
                 else:
+                    if ledger_on:
+                        ledger.emit("task_collect", pid=child.pid,
+                                    partition=child.partition.index,
+                                    status="ok")
                     wave_results.append((child.position, result))
         finally:
             worker.accountant.release(region, charged)

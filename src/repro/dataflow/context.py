@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.memory.model import GB, MemoryAccountant
 from repro.dataflow.storage import StorageManager
 from repro.metrics import NULL_METRICS
+from repro.observe.ledger import NULL_LEDGER
 from repro.trace import NULL_TRACER
 
 
@@ -77,6 +78,9 @@ class ClusterContext:
         #: on this context; NULL_METRICS unless attach_metrics is
         #: called.
         self.metrics = NULL_METRICS
+        #: Streaming run ledger shared by every layer running on this
+        #: context; NULL_LEDGER unless attach_ledger is called.
+        self.ledger = NULL_LEDGER
 
     def attach_tracer(self, tracer):
         """Share a :class:`~repro.trace.Tracer` with the dataflow
@@ -110,6 +114,27 @@ class ClusterContext:
         if injector is not None and metrics.enabled and metrics.clock is None:
             metrics.clock = injector.clock
         return metrics
+
+    def attach_ledger(self, ledger):
+        """Share a :class:`~repro.observe.ledger.RunLedger` with every
+        layer running on this context: the tracer streams span
+        open/close events into it, the metrics registry streams
+        throttled samples, and the wave scheduler/backends emit
+        stage/wave/task lifecycle. Attach *after* ``attach_tracer`` /
+        ``attach_metrics`` so the sinks land on the live instances."""
+        self.ledger = ledger
+        if ledger.enabled:
+            if self.tracer.enabled:
+                self.tracer.sink = ledger
+            if self.metrics.enabled:
+                self.metrics.sink = ledger
+            injector = getattr(self, "fault_injector", None)
+            if injector is not None and ledger.clock is None:
+                ledger.clock = injector.clock
+            log = getattr(self, "recovery_log", None)
+            if log is not None:
+                log.sink = ledger
+        return ledger
 
     def worker_for(self, partition_index):
         if not self.excluded_workers:

@@ -108,6 +108,9 @@ def run_partition_tasks(context, partitions, task_fn, region=Region.USER,
     attempts = defaultdict(int)
     tracer = getattr(context, "tracer", NULL_TRACER)
     tracer.add("partitions", len(partitions))
+    ledger = getattr(context, "ledger", None)
+    if ledger is not None and ledger.enabled:
+        ledger.emit("stage_tasks", what=what, partitions=len(partitions))
     pending = list(enumerate(partitions))
     committed = set()
     while pending:
@@ -134,6 +137,8 @@ def _run_worker_share(context, worker, items, task_fn, region, charge_fn,
     tracer = getattr(context, "tracer", NULL_TRACER)
     metrics = getattr(context, "metrics", NULL_METRICS)
     backend = getattr(context, "exec_backend", None) or SERIAL_BACKEND
+    ledger = getattr(context, "ledger", None)
+    ledger_on = ledger is not None and ledger.enabled
     occupancy = metrics.gauge("wave_tasks", worker=f"w{worker.node_id}")
     if committed is None:
         committed = set()
@@ -145,6 +150,9 @@ def _run_worker_share(context, worker, items, task_fn, region, charge_fn,
             len(wave)
         )
         occupancy.set(len(wave))
+        if ledger_on:
+            ledger.emit("wave_start", worker=worker.node_id,
+                        size=len(wave), what=what)
         try:
             if injector is not None:
                 injector.on_wave_start(worker.node_id, what=what)
@@ -155,6 +163,9 @@ def _run_worker_share(context, worker, items, task_fn, region, charge_fn,
         except WorkerLost as loss:
             # The in-flight wave dies with the worker; everything this
             # worker had not finished fails over to live workers.
+            if ledger_on:
+                ledger.emit("wave_end", worker=worker.node_id,
+                            results=0, what=what, status="worker-lost")
             _record(recovery, clock, "worker_lost", table=what,
                     worker=worker.node_id, fault=str(loss))
             context.blacklist_worker(worker.node_id)
@@ -167,12 +178,18 @@ def _run_worker_share(context, worker, items, task_fn, region, charge_fn,
             return
         finally:
             occupancy.set(0)
+        if ledger_on:
+            ledger.emit("wave_end", worker=worker.node_id,
+                        results=len(wave_results), what=what, status="ok")
         by_position = dict(wave)
         for position, result in wave_results:
             if position in committed:
                 continue  # the exactly-once commit barrier
             committed.add(position)
             results[position] = result
+            if ledger_on:
+                ledger.emit("task_commit", what=what,
+                            partition=by_position[position].index)
             if on_commit is not None:
                 on_commit(by_position[position], result)
         if worker.node_id in context.excluded_workers:

@@ -78,10 +78,17 @@ class RecoveryLog:
 
     def __init__(self):
         self.events = []
+        #: Optional :class:`~repro.observe.ledger.RunLedger`: when set,
+        #: every recovery action also streams into the run ledger as a
+        #: ``recovery`` event (a durability barrier — recovery facts
+        #: are exactly what a post-mortem cannot afford to lose).
+        self.sink = None
 
     def record(self, event, **fields):
         entry = {"event": event, **fields}
         self.events.append(entry)
+        if self.sink is not None:
+            self.sink.emit("recovery", event=event, **fields)
         return entry
 
     def of(self, event):

@@ -72,6 +72,16 @@ class _Instrument:
         ])
         if len(self.samples) > registry.max_samples:
             self._compact()
+        sink = registry.sink
+        if sink is not None:
+            # Throttled: the first sample of a series and every
+            # ``sink_every``-th after it stream into the run ledger —
+            # enough for live counter tracks without paying a ledger
+            # line per sample against the 5% overhead budget.
+            count = len(self.samples)
+            if count == 1 or count % registry.sink_every == 0:
+                sink.emit("metric", metric=self.name,
+                          labels=self.labels, value=value)
 
     def _compact(self):
         pairs = zip(self.samples[::2], self.samples[1::2])
@@ -262,6 +272,12 @@ class MetricsRegistry:
         self.clock = clock
         self.base_labels = dict(base_labels) if base_labels else {}
         self.max_samples = int(max_samples)
+        #: Optional :class:`~repro.observe.ledger.RunLedger`: when set
+        #: (via ``ClusterContext.attach_ledger``), samples stream into
+        #: the ledger throttled to one in :attr:`sink_every` per
+        #: series (plus each series' first sample).
+        self.sink = None
+        self.sink_every = 64
         self._instruments = {}
         self._tick = 0
 
@@ -452,6 +468,7 @@ class NullMetrics:
     enabled = False
     clock = None
     base_labels = {}
+    sink = None
 
     def counter(self, name, **labels):
         return _NULL_INSTRUMENT

@@ -1,0 +1,74 @@
+"""Live observability for Vista runs.
+
+Where :mod:`repro.trace` and :mod:`repro.metrics` answer questions
+*after* a run returns, this package makes the same signals available
+*while the run executes* — and keeps them when it never returns:
+
+- :mod:`repro.observe.ledger` — the streaming run ledger: an
+  append-only, schema-versioned (``obs/v1``) JSONL event stream that
+  tracer spans, metric samples, recovery events, optimizer decisions,
+  and backend wave/fork lifecycle emit into as they happen. A SIGKILLed
+  run leaves a readable ledger up to the kill point.
+- :mod:`repro.observe.perfetto` — Chrome trace-event / Perfetto
+  export: the merged span tree (driver + forked process-backend
+  children on pid/tid tracks) as a standard ``trace.json`` loadable in
+  ``ui.perfetto.dev``.
+- :mod:`repro.observe.progress` — the live progress monitor behind
+  ``repro run --progress`` and ``repro top``: per-stage completion and
+  an ETA computed from the cost model's predicted stage seconds
+  against observed span progress (online calibration).
+- :mod:`repro.observe.slo` — the declarative SLO/gate engine: rules
+  (metric, comparator, threshold, severity) evaluated against any
+  ledger or trace/v2 envelope; ``repro report --slo`` exits nonzero on
+  breach.
+"""
+
+from repro.observe.ledger import (
+    LEDGER_SCHEMA,
+    NULL_LEDGER,
+    RunLedger,
+    read_ledger,
+    validate_events,
+)
+from repro.observe.perfetto import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.observe.progress import (
+    ProgressRenderer,
+    ProgressState,
+    StagePlan,
+    predict_stage_plan,
+    render_progress,
+)
+from repro.observe.slo import (
+    SloRule,
+    evaluate_slo,
+    has_breach,
+    load_rules,
+    load_slo_source,
+    render_slo,
+)
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "NULL_LEDGER",
+    "ProgressRenderer",
+    "ProgressState",
+    "RunLedger",
+    "SloRule",
+    "StagePlan",
+    "chrome_trace",
+    "evaluate_slo",
+    "has_breach",
+    "load_rules",
+    "load_slo_source",
+    "predict_stage_plan",
+    "read_ledger",
+    "render_progress",
+    "render_slo",
+    "validate_chrome_trace",
+    "validate_events",
+    "write_chrome_trace",
+]

@@ -13,6 +13,7 @@ from repro.trace.tracer import (
     Span,
     Tracer,
     find_spans,
+    span_from_dict,
     spans_wall_seconds,
 )
 
@@ -22,5 +23,6 @@ __all__ = [
     "Span",
     "Tracer",
     "find_spans",
+    "span_from_dict",
     "spans_wall_seconds",
 ]

@@ -153,6 +153,11 @@ class Tracer:
 
     def __init__(self, clock=None, name="trace"):
         self.clock = clock
+        #: Optional :class:`~repro.observe.ledger.RunLedger`: when set
+        #: (via ``ClusterContext.attach_ledger``) every span open/close
+        #: and point event is streamed into the ledger as it happens —
+        #: the live counterpart of the post-hoc ``export()`` tree.
+        self.sink = None
         self.root = Span(name, sim_start=self._sim_now())
         self._stack = [self.root]
 
@@ -172,6 +177,11 @@ class Tracer:
         span = Span(name, attrs, sim_start=self._sim_now())
         self._stack[-1].children.append(span)
         self._stack.append(span)
+        if self.sink is not None:
+            # Copy: the span keeps mutating attrs after the open event,
+            # and the ledger's memory view must match what hit disk.
+            self.sink.emit("span_start", name=name,
+                           attrs=dict(span.attrs))
         try:
             yield span
         except BaseException as exc:
@@ -182,6 +192,9 @@ class Tracer:
             span.finish(self._sim_now())
         finally:
             self._stack.pop()
+            if self.sink is not None:
+                self.sink.emit("span_end", name=name,
+                               status=span.status, span_s=span.wall_s)
 
     def add(self, counter, value=1):
         """Increment a counter on the current span."""
@@ -197,6 +210,8 @@ class Tracer:
         self._stack[-1].events.append(
             {"event": name, "sim_time_s": self._sim_now(), **fields}
         )
+        if self.sink is not None:
+            self.sink.emit("trace_point", name=name, **fields)
 
     @contextmanager
     def time_op(self, name):
@@ -278,6 +293,7 @@ class NullTracer:
     enabled = False
     clock = None
     root = None
+    sink = None
 
     def span(self, name, **attrs):
         return _NULL_SPAN
@@ -313,6 +329,28 @@ class NullTracer:
 
 #: The process-wide disabled tracer every layer defaults to.
 NULL_TRACER = NullTracer()
+
+
+def span_from_dict(data):
+    """Reconstruct a :class:`Span` tree from its ``to_dict`` export —
+    the inverse of ``Tracer.export()``, lossless modulo the 9-decimal
+    rounding ``to_dict`` already applied. Reconstructed spans carry
+    ``wall_start`` equal to their exported offset (epoch 0), so
+    re-exporting yields the identical dict."""
+    span = Span.__new__(Span)
+    span.name = data.get("name", "span")
+    span.attrs = dict(data.get("attrs") or {})
+    span.counters = dict(data.get("counters") or {})
+    span.events = list(data.get("events") or ())
+    span.children = [
+        span_from_dict(child) for child in data.get("children") or ()
+    ]
+    span.wall_start = float(data.get("wall_offset_s") or 0.0)
+    span.wall_s = data.get("wall_s")
+    span.sim_start = float(data.get("sim_start_s") or 0.0)
+    span.sim_end = float(data.get("sim_end_s") or 0.0)
+    span.status = data.get("status", "ok")
+    return span
 
 
 def find_spans(trace, name):

@@ -1,0 +1,798 @@
+"""The streaming observability stack: run ledger, Perfetto export,
+live progress/ETA, and the declarative SLO gate engine.
+
+The contract under test is the one the CI ``observe`` job exercises
+end to end: every observable fact of a run streams into an append-only
+``obs/v1`` ledger *as it happens* (so a SIGKILLed driver still leaves
+a readable record to the kill point), the ledger replays losslessly
+into the live progress monitor and the Chrome trace-event exporter,
+and the repo's bespoke gates — speedup floors, overhead budgets,
+drift bands, exact-match fields — evaluate as declarative SLO rules
+against any envelope or ledger.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.api import Vista, default_resources
+from repro.data import foods_dataset
+from repro.dataflow.context import local_context
+from repro.dataflow.table import DistributedTable
+from repro.faults import FaultPlan, FaultInjector, equip_context
+from repro.metrics import MetricsRegistry
+from repro.observe import (
+    LEDGER_SCHEMA,
+    NULL_LEDGER,
+    ProgressState,
+    RunLedger,
+    SloRule,
+    StagePlan,
+    chrome_trace,
+    evaluate_slo,
+    has_breach,
+    load_rules,
+    predict_stage_plan,
+    read_ledger,
+    render_progress,
+    render_slo,
+    validate_chrome_trace,
+    validate_events,
+    write_chrome_trace,
+)
+from repro.observe.ledger import BARRIER_KINDS, EVENT_KINDS, FLUSH_KINDS
+from repro.trace import Tracer, span_from_dict
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_RULES = os.path.join(REPO_ROOT, "slo", "default.yaml")
+
+
+def _make_vista(records=48, layers=2, backend="serial"):
+    return Vista(
+        model_name="alexnet",
+        num_layers=layers,
+        dataset=foods_dataset(num_records=records),
+        resources=default_resources(num_nodes=2),
+        exec_backend=backend,
+    )
+
+
+def _ledgered_run(tmp_path, backend="serial", records=48, layers=2,
+                  name="run"):
+    """One full ledgered+traced run; returns (ledger_path, events,
+    tracer, vista)."""
+    path = os.path.join(str(tmp_path), f"{name}.ledger.jsonl")
+    vista = _make_vista(records=records, layers=layers, backend=backend)
+    tracer = Tracer(name=name)
+    ledger = RunLedger(path)
+    vista.run(tracer=tracer, ledger=ledger)
+    ledger.emit("run_end", status="ok")
+    ledger.close()
+    return path, list(ledger.events), tracer, vista
+
+
+# ---------------------------------------------------------------------
+# ledger: append discipline, round trip, torn tails
+# ---------------------------------------------------------------------
+def test_ledger_round_trip(tmp_path):
+    path = os.path.join(str(tmp_path), "l.jsonl")
+    ledger = RunLedger(path)
+    ledger.emit("run_meta", model="alexnet", records=48)
+    ledger.emit("wave_start", worker=0, size=4, what="t")
+    ledger.emit("wave_end", worker=0, results=4, what="t", status="ok")
+    ledger.emit("run_end", status="ok")
+    ledger.close()
+    events, problems = read_ledger(path)
+    assert problems == []
+    assert validate_events(events) == []
+    assert [e["kind"] for e in events] == [
+        "ledger_open", "run_meta", "wave_start", "wave_end", "run_end",
+    ]
+    # File and memory views agree event for event.
+    assert events == ledger.events
+    # Envelope invariants.
+    seqs = [e["seq"] for e in events]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+    assert all(e["schema"] == LEDGER_SCHEMA for e in events)
+
+
+def test_ledger_unflushed_events_survive_on_barrier(tmp_path):
+    """Group commit: non-barrier events buffer, then land in one write
+    at the next flush kind — and never out of order."""
+    path = os.path.join(str(tmp_path), "l.jsonl")
+    ledger = RunLedger(path)  # ledger_open is a barrier: flushed
+    ledger.emit("span_start", name="read", attrs={})
+    ledger.emit("metric", metric="x", labels={}, value=1.0)
+    on_disk, _ = read_ledger(path)
+    assert [e["kind"] for e in on_disk] == ["ledger_open"]
+    ledger.emit("wave_start", worker=0, size=1, what="t")  # flush kind
+    on_disk, _ = read_ledger(path)
+    assert [e["kind"] for e in on_disk] == [
+        "ledger_open", "span_start", "metric", "wave_start",
+    ]
+    ledger.close()
+
+
+def test_ledger_torn_tail_is_tolerated_interior_is_not(tmp_path):
+    path = os.path.join(str(tmp_path), "l.jsonl")
+    ledger = RunLedger(path)
+    ledger.emit("run_end", status="ok")
+    ledger.close()
+    with open(path, "ab") as fh:  # simulate a kernel-torn final write
+        fh.write(b'{"schema": "obs/v1", "seq": 3, "ki')
+    events, problems = read_ledger(path)
+    assert len(events) == 2
+    assert len(problems) == 1 and problems[0].startswith("torn tail")
+    assert validate_events(events) == []
+    # The same garbage *inside* the file is a real problem.
+    with open(path, "ab") as fh:
+        fh.write(b"\n")
+        fh.write(json.dumps(ledger.events[-1]).encode() + b"\n")
+    _, problems = read_ledger(path)
+    assert problems and not problems[0].startswith("torn tail")
+
+
+def test_ledger_fork_guard(tmp_path):
+    """A forked child inheriting the ledger must not interleave writes
+    with the parent: emit() in the child is a no-op."""
+    path = os.path.join(str(tmp_path), "l.jsonl")
+    ledger = RunLedger(path)
+    pid = os.fork()
+    if pid == 0:
+        ledger.emit("metric", metric="child", labels={}, value=1.0)
+        os._exit(0)
+    os.waitpid(pid, 0)
+    ledger.emit("run_end", status="ok")
+    ledger.close()
+    events, problems = read_ledger(path)
+    assert problems == []
+    assert all(e.get("metric") != "child" for e in events)
+
+
+def test_validate_events_flags_schema_problems():
+    good = RunLedger()  # memory-only
+    good.emit("run_end", status="ok")
+    assert validate_events(good.events) == []
+    bad = [
+        {"schema": "obs/v0", "seq": 1, "wall_s": 0.0,
+         "sim_time_s": 0.0, "kind": "x"},
+        {"schema": LEDGER_SCHEMA, "seq": 1, "wall_s": "soon",
+         "sim_time_s": 0.0, "kind": ""},
+        {"schema": LEDGER_SCHEMA, "seq": 0, "sim_time_s": 0.0,
+         "kind": "y"},
+    ]
+    problems = validate_events(bad)
+    assert any("schema" in p for p in problems)
+    assert any("wall_s" in p for p in problems)
+    assert any("seq" in p for p in problems)
+    assert any("missing" in p for p in problems)
+    assert any("kind" in p for p in problems)
+
+
+def test_null_ledger_is_inert():
+    assert not NULL_LEDGER.enabled
+    assert NULL_LEDGER.emit("run_end", status="ok") is None
+    assert len(NULL_LEDGER) == 0 and NULL_LEDGER.count("run_end") == 0
+    NULL_LEDGER.flush()
+    NULL_LEDGER.close()
+
+
+def test_barrier_kinds_are_flush_kinds():
+    assert BARRIER_KINDS <= FLUSH_KINDS <= EVENT_KINDS
+
+
+# ---------------------------------------------------------------------
+# instrument sinks: tracer, metrics, recovery log
+# ---------------------------------------------------------------------
+def test_tracer_sink_streams_span_lifecycle():
+    ledger = RunLedger()
+    tracer = Tracer()
+    tracer.sink = ledger
+    with tracer.span("outer"):
+        with tracer.span("inner") as sp:
+            sp.add("k", 1)
+        tracer.event("tick", n=2)
+    kinds = [(e["kind"], e.get("name")) for e in ledger.events[1:]]
+    assert kinds == [
+        ("span_start", "outer"),
+        ("span_start", "inner"),
+        ("span_end", "inner"),
+        ("trace_point", "tick"),
+        ("span_end", "outer"),
+    ]
+    ends = [e for e in ledger.events if e["kind"] == "span_end"]
+    assert all(e["status"] == "ok" and e["span_s"] >= 0 for e in ends)
+
+
+def test_metrics_sink_throttles_samples():
+    ledger = RunLedger()
+    registry = MetricsRegistry()
+    registry.sink = ledger
+    counter = registry.counter("ticks", owner="driver")
+    for _ in range(130):
+        counter.inc()
+    sampled = [e for e in ledger.events if e["kind"] == "metric"]
+    # First sample always lands; then every sink_every-th (64).
+    assert len(sampled) == 3
+    assert all(e["metric"] == "ticks" for e in sampled)
+
+
+def test_tracer_export_json_round_trip_is_lossless():
+    """Satellite: Tracer.export() -> JSON -> span_from_dict rebuilds
+    the identical span tree."""
+    tracer = Tracer(name="rt")
+    with tracer.span("read") as sp:
+        sp.add("rows", 48)
+        with tracer.span("join"):
+            tracer.event("tick", n=1)
+    with tracer.span("train", layer="fc7"):
+        pass
+    exported = tracer.export()
+    wire = json.loads(json.dumps(exported, sort_keys=True, default=str))
+    rebuilt = span_from_dict(wire)
+    assert rebuilt.to_dict() == wire
+    # Structure survived, not just the dict: children are Spans.
+    names = [c.name for c in rebuilt.children]
+    assert "read" in names and "train" in names
+
+
+# ---------------------------------------------------------------------
+# end-to-end ledgers from both backends
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["serial", "process"])
+def test_run_ledger_end_to_end(tmp_path, backend):
+    path, events, tracer, _ = _ledgered_run(tmp_path, backend=backend)
+    parsed, problems = read_ledger(path)
+    assert problems == []
+    assert validate_events(parsed) == []
+    assert parsed == json.loads(json.dumps(events, default=str))
+    kinds = {e["kind"] for e in parsed}
+    assert {"ledger_open", "span_start", "span_end", "stage_tasks",
+            "wave_start", "wave_end", "task_commit",
+            "run_end"} <= kinds
+    if backend == "process":
+        assert "task_fork" in kinds and "task_collect" in kinds
+        forks = [e for e in parsed if e["kind"] == "task_fork"]
+        collects = [e for e in parsed if e["kind"] == "task_collect"]
+        assert len(forks) == len(collects)
+        assert all(e["pid"] != os.getpid() for e in forks)
+    # Wave accounting: starts and ends pair up per worker/stage.
+    starts = [e for e in parsed if e["kind"] == "wave_start"]
+    ends = [e for e in parsed if e["kind"] == "wave_end"]
+    assert len(starts) == len(ends) > 0
+    assert all(e["status"] == "ok" for e in ends)
+    # Every stage's committed tasks equal its announced partitions.
+    commits = [e for e in parsed if e["kind"] == "task_commit"]
+    stages = [e for e in parsed if e["kind"] == "stage_tasks"]
+    assert sum(e["partitions"] for e in stages) == len(commits)
+
+
+def test_backends_emit_equivalent_wave_ledgers(tmp_path):
+    """One seeded plan, both backends: the stage/commit story in the
+    ledger is identical; only the transport events differ."""
+    def story(events):
+        out = []
+        for e in events:
+            if e["kind"] == "stage_tasks":
+                out.append(("stage", e["what"], e["partitions"]))
+            elif e["kind"] == "task_commit":
+                out.append(("commit", e["what"], e["partition"]))
+        return out
+
+    _, serial_events, _, _ = _ledgered_run(
+        tmp_path, backend="serial", name="serial")
+    _, process_events, _, _ = _ledgered_run(
+        tmp_path, backend="process", name="process")
+    assert story(serial_events) == story(process_events)
+
+
+# ---------------------------------------------------------------------
+# Perfetto / Chrome trace-event export
+# ---------------------------------------------------------------------
+def test_chrome_trace_from_tracer_only():
+    tracer = Tracer(name="t")
+    with tracer.span("read"):
+        with tracer.span("join"):
+            pass
+    doc = chrome_trace(trace=tracer.export())
+    assert validate_chrome_trace(doc) == []
+    slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert {"read", "join"} <= {e["name"] for e in slices}
+
+
+@pytest.mark.parametrize("backend", ["serial", "process"])
+def test_chrome_trace_from_run_ledger(tmp_path, backend):
+    """Satellite: the Perfetto export of a ProcessPoolBackend run has
+    one track per forked child pid, and those tracks match the
+    driver's wave ledger exactly."""
+    path, events, tracer, _ = _ledgered_run(tmp_path, backend=backend)
+    doc = chrome_trace(trace=tracer.export(), ledger_events=events)
+    assert validate_chrome_trace(doc) == []
+    trace_events = doc["traceEvents"]
+    driver_pid = os.getpid()
+    pids = {e["pid"] for e in trace_events}
+    forks = [e for e in events if e["kind"] == "task_fork"]
+    if backend == "process":
+        # One Perfetto track (pid) per distinct forked child, each
+        # holding exactly the task slices the wave ledger forked on it.
+        child_pids = {e["pid"] for e in forks}
+        assert child_pids and child_pids <= pids
+        for child in child_pids:
+            slices = [
+                e for e in trace_events
+                if e["pid"] == child and e["ph"] == "X"
+            ]
+            ledger_tasks = sorted(
+                f"task p{e['partition']}" for e in forks
+                if e["pid"] == child
+            )
+            assert sorted(e["name"] for e in slices) == ledger_tasks
+    else:
+        assert not forks and pids == {driver_pid}
+    # Wave slices ride the driver's wave-scheduler track.
+    wave_slices = [
+        e for e in trace_events
+        if e["ph"] == "X" and e["name"].startswith("wave w")
+    ]
+    assert len(wave_slices) == sum(
+        1 for e in events if e["kind"] == "wave_start"
+    )
+    assert all(e["pid"] == driver_pid for e in wave_slices)
+
+
+def test_chrome_trace_closes_torn_ledger(tmp_path):
+    """A killed run's ledger (open spans, unfinished waves and forks)
+    still renders: everything open is closed at the last event with
+    status 'torn'."""
+    ledger = RunLedger()
+    ledger.emit("span_start", name="inference:fc7", attrs={})
+    ledger.emit("wave_start", worker=0, size=4, what="t_feat")
+    ledger.emit("task_fork", pid=4242, partition=3, attempt=1,
+                what="t_feat")
+    doc = chrome_trace(ledger_events=list(ledger.events))
+    assert validate_chrome_trace(doc) == []
+    torn = [
+        e for e in doc["traceEvents"]
+        if e["ph"] == "X" and e.get("args", {}).get("status") == "torn"
+    ]
+    assert {e["name"] for e in torn} == {
+        "inference:fc7", "wave w0", "task p3",
+    }
+
+
+def test_write_chrome_trace_accepts_path_and_ledger(tmp_path):
+    path, _, tracer, _ = _ledgered_run(tmp_path, name="w")
+    out = os.path.join(str(tmp_path), "trace.json")
+    write_chrome_trace(out, trace=tracer.export(), ledger=path)
+    doc = json.load(open(out))
+    assert validate_chrome_trace(doc) == []
+    assert doc["traceEvents"]
+
+
+# ---------------------------------------------------------------------
+# progress monitor and ETA
+# ---------------------------------------------------------------------
+def _run_with_progress(tmp_path, backend="process", records=96,
+                       layers=3):
+    vista = _make_vista(records=records, layers=layers, backend=backend)
+    tracer = Tracer()
+    ledger = RunLedger(
+        os.path.join(str(tmp_path), "progress.ledger.jsonl"))
+    config = vista.optimize()
+    stage_plan = predict_stage_plan(
+        vista.model_stats, vista.layers, vista.dataset_stats,
+        vista.plan, config, vista.resources, backend=vista.backend,
+    )
+    ledger.emit("stage_plan", plan=vista.plan.label,
+                stages=stage_plan.to_list())
+    state = ProgressState(stage_plan)
+    ledger.listeners.append(state)
+    vista.run(tracer=tracer, ledger=ledger)
+    ledger.emit("run_end", status="ok")
+    ledger.close()
+    return state, list(ledger.events), stage_plan
+
+
+def test_progress_tracks_stages_to_completion(tmp_path):
+    state, events, stage_plan = _run_with_progress(tmp_path)
+    assert state.run_ended and state.run_status == "ok"
+    assert state.stages_done() == len(stage_plan)
+    assert state.fraction() == 1.0
+    assert state.eta_s() == 0.0
+    # Snapshots were taken at every stage completion, monotonically.
+    assert len(state.snapshots) == len(stage_plan)
+    fractions = [s[1] for s in state.snapshots]
+    assert fractions == sorted(fractions)
+    rendered = render_progress(state)
+    assert "run ok" in rendered
+
+
+def test_halfway_eta_within_2x_of_actual(tmp_path):
+    """The ISSUE acceptance bound, as a test: at the first snapshot at
+    or past 50% predicted progress, ETA is within 2x either way of the
+    wall time actually remaining."""
+    state, events, _ = _run_with_progress(tmp_path, layers=4)
+    end_wall = next(
+        e["wall_s"] for e in events if e["kind"] == "run_end")
+    snap = next(s for s in state.snapshots if s[1] >= 0.5)
+    wall, _, eta, _ = snap
+    actual = end_wall - wall
+    assert actual > 0
+    assert 0.5 <= eta / actual <= 2.0, (
+        f"eta {eta:.3f}s vs actual remaining {actual:.3f}s"
+    )
+
+
+def test_progress_replays_from_ledger_file(tmp_path):
+    """`repro top` contract: the stage_plan event plus the event
+    stream rebuild the exact live state, no tracer or run objects."""
+    state, events, _ = _run_with_progress(tmp_path)
+    plan_event = next(e for e in events if e["kind"] == "stage_plan")
+    replayed = ProgressState(StagePlan.from_list(plan_event["stages"]))
+    for event in events:
+        replayed.on_event(event)
+    assert replayed.stages_done() == state.stages_done()
+    assert replayed.fraction() == pytest.approx(state.fraction())
+    # Snapshots agree modulo the stage plan's serialized rounding.
+    assert len(replayed.snapshots) == len(state.snapshots)
+    for live, replay in zip(state.snapshots, replayed.snapshots):
+        assert replay[0] == live[0] and replay[3] == live[3]
+        assert replay[1] == pytest.approx(live[1], rel=1e-4)
+        assert replay[2] == pytest.approx(live[2], rel=1e-4)
+
+
+def test_stage_plan_round_trip():
+    vista = _make_vista()
+    config = vista.optimize()
+    plan = predict_stage_plan(
+        vista.model_stats, vista.layers, vista.dataset_stats,
+        vista.plan, config, vista.resources, backend=vista.backend,
+    )
+    assert len(plan) > 0 and plan.total_predicted_s > 0
+    clone = StagePlan.from_list(
+        json.loads(json.dumps(plan.to_list())))
+    assert clone.to_list() == plan.to_list()
+
+
+def test_eta_affine_calibration_handles_flat_observed_costs():
+    """Mini-scale regression: predictions inside a bucket span orders
+    of magnitude while observed cost is flat; the per-bucket affine
+    fit must price pending stages near the flat observed cost instead
+    of scaling the tiny predictions down to nothing."""
+    stages = [
+        {"key": "inference:a", "matcher": "inference:a",
+         "predicted_s": 1.0},
+        {"key": "inference:b", "matcher": "inference:b",
+         "predicted_s": 0.04},
+        {"key": "inference:c", "matcher": "inference:c",
+         "predicted_s": 0.01},
+    ]
+    state = ProgressState(StagePlan.from_list(stages))
+    wall = 0.0
+    for name, observed in (("inference:a", 0.05), ("inference:b", 0.05)):
+        wall += observed
+        state.on_event({"kind": "span_start", "name": name,
+                        "wall_s": wall - observed})
+        state.on_event({"kind": "span_end", "name": name,
+                        "span_s": observed, "wall_s": wall})
+    eta = state.eta_s()
+    assert 0.025 <= eta <= 0.1, f"eta {eta:.4f}s not near the flat 0.05s"
+
+
+# ---------------------------------------------------------------------
+# worker_kill chaos: the ledger records the loss as it happens
+# ---------------------------------------------------------------------
+def test_worker_kill_ledger_within_one_wave(tmp_path):
+    """Acceptance: a ProcessPoolBackend task killed mid-wave
+    (FaultPlan.worker_kill, a real SIGKILL) leaves a ledger whose loss
+    events land inside the wave that died — and the whole ledger
+    replays through the SLO engine and the Perfetto exporter."""
+    path = os.path.join(str(tmp_path), "kill.ledger.jsonl")
+    ctx = local_context(num_nodes=2, cores_per_node=4, cpu=2,
+                        exec_backend="process")
+    ctx = equip_context(
+        ctx,
+        injector=FaultInjector(
+            FaultPlan().worker_kill(partition=5, phase="start"), seed=0),
+    )
+    ledger = RunLedger(path)
+    ctx.attach_ledger(ledger)
+    rows = [
+        {"id": i, "x": np.full((4, 4), i, dtype=np.float32)}
+        for i in range(24)
+    ]
+    table = DistributedTable.from_rows(ctx, rows, 8, name="t_in")
+    table.map_partitions(
+        lambda rs: [{"id": r["id"], "x": r["x"] * 2.0} for r in rs],
+        name="t_out",
+    )
+    ledger.emit("run_end", status="ok")
+    ledger.close()
+
+    events, problems = read_ledger(path)
+    assert problems == [] and validate_events(events) == []
+    kinds = [e["kind"] for e in events]
+    # The injected kill is visible three ways, in stream order inside
+    # one wave: the fork, the lost collect, the failed wave, then the
+    # recovery-log entries the supervisor wrote.
+    lost = kinds.index("task_collect")
+    collects = [e for e in events if e["kind"] == "task_collect"]
+    lost_collects = [
+        e for e in collects if e["status"] == "worker-lost"]
+    assert len(lost_collects) == 1
+    lost_seq = next(
+        e["seq"] for e in events
+        if e["kind"] == "task_collect" and e["status"] == "worker-lost")
+    wave_bounds = [
+        e["seq"] for e in events
+        if e["kind"] in ("wave_start", "wave_end")]
+    # Within one wave: some wave boundary brackets the loss tightly.
+    before = max((s for s in wave_bounds if s < lost_seq), default=None)
+    after = min((s for s in wave_bounds if s > lost_seq), default=None)
+    assert before is not None and after is not None
+    failed_wave = next(
+        e for e in events
+        if e["kind"] == "wave_end" and e["seq"] == after)
+    assert failed_wave["status"] == "worker-lost"
+    recoveries = [e for e in events if e["kind"] == "recovery"]
+    assert {e["event"] for e in recoveries} >= {
+        "worker_kill", "worker_lost", "blacklist"}
+    # Replayable through the SLO engine...
+    verdicts = evaluate_slo(load_rules(DEFAULT_RULES), path)
+    assert not has_breach(verdicts)
+    # ...and the Perfetto exporter, with the kill's task slice present.
+    doc = chrome_trace(ledger_events=events)
+    assert validate_chrome_trace(doc) == []
+    lost_pid = lost_collects[0]["pid"]
+    assert any(e["pid"] == lost_pid for e in doc["traceEvents"])
+
+
+def test_sigkilled_driver_leaves_readable_ledger(tmp_path):
+    """Real driver death: SIGKILL the CLI mid-run and the ledger file
+    still parses to the kill point with zero schema problems."""
+    path = os.path.join(str(tmp_path), "killed.ledger.jsonl")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "run", "--records", "96",
+         "--nodes", "2", "--model", "alexnet", "--layers", "4",
+         "--backend", "process", "--ledger", path],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            try:
+                with open(path, "rb") as fh:
+                    if b'"kind":"wave_start"' in fh.read():
+                        break
+            except FileNotFoundError:
+                pass
+            assert proc.poll() is None, "run finished before the kill"
+            time.sleep(0.01)
+        else:
+            pytest.fail("never saw a wave_start event")
+        os.kill(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait()
+    events, problems = read_ledger(path)
+    assert [p for p in problems if not p.startswith("torn tail")] == []
+    assert validate_events(events) == []
+    kinds = [e["kind"] for e in events]
+    assert "wave_start" in kinds and "run_end" not in kinds
+    # Replayable: the torn run still renders as a Chrome trace and
+    # passes the SLO gates (completion is a warn, not a breach).
+    assert validate_chrome_trace(chrome_trace(ledger_events=events)) == []
+    verdicts = evaluate_slo(load_rules(DEFAULT_RULES), path)
+    assert not has_breach(verdicts)
+    statuses = {v.rule.name: v.status for v in verdicts}
+    assert statuses["ledger-run-completed"] == "warn"
+
+
+# ---------------------------------------------------------------------
+# SLO engine
+# ---------------------------------------------------------------------
+def test_slo_rule_validation():
+    with pytest.raises(ValueError):
+        SloRule(name="x", metric="results.a", comparator="~=",
+                threshold=1.0)
+    with pytest.raises(ValueError):
+        SloRule(name="x", metric="results.a", comparator=">=",
+                threshold=1.0, severity="fatal")
+    with pytest.raises(ValueError):
+        SloRule(name="x", metric="results.a", comparator=">=",
+                threshold=1.0, against="delta")
+
+
+def test_slo_evaluation_against_envelope():
+    envelope = {
+        "schema": "trace/v2",
+        "params": {"overhead": {"fraction": 0.01}},
+        "results": [{"speedup": 3.2}, {"speedup": 5.1}],
+    }
+    rules = [
+        SloRule(name="floor", metric="results.speedup.max",
+                comparator=">=", threshold=3.0),
+        SloRule(name="budget", metric="params.overhead.fraction",
+                comparator="<=", threshold=0.05),
+        SloRule(name="absent", metric="params.nope",
+                comparator=">=", threshold=1.0),
+        SloRule(name="needed", metric="params.nope",
+                comparator=">=", threshold=1.0, required=True),
+        SloRule(name="soft", metric="results.speedup.min",
+                comparator=">=", threshold=100.0, severity="warn"),
+    ]
+    verdicts = evaluate_slo(rules, envelope)
+    statuses = {v.rule.name: v.status for v in verdicts}
+    assert statuses == {
+        "floor": "pass", "budget": "pass", "absent": "skip",
+        "needed": "breach", "soft": "warn",
+    }
+    assert has_breach(verdicts)
+    rendered = render_slo(verdicts)
+    assert "breach" in rendered and "needed" in rendered
+
+
+def test_slo_baseline_ratio_and_equal():
+    baseline = {
+        "results": {"runtime_ratio_a": 2.0, "runtime_ratio_b": 4.0},
+        "metrics": {"series": [
+            {"name": "plan_choice", "labels": {},
+             "samples": [[0.0, 0.0, "staged"]]},
+        ]},
+    }
+    drifted = {
+        "results": {"runtime_ratio_a": 2.1, "runtime_ratio_b": 400.0},
+        "metrics": {"series": [
+            {"name": "plan_choice", "labels": {},
+             "samples": [[0.0, 0.0, "lazy-aj"]]},
+        ]},
+    }
+    rules = [
+        SloRule(name="drift", metric="results.runtime_ratio_*",
+                comparator="<=", threshold=25.0,
+                against="baseline-ratio"),
+        SloRule(name="exact", metric="series:plan_choice.last",
+                comparator="<=", threshold=0, against="baseline-equal"),
+    ]
+    clean = evaluate_slo(rules, baseline, baseline=baseline)
+    assert not has_breach(clean)
+    dirty = evaluate_slo(rules, drifted, baseline=baseline)
+    statuses = {v.rule.name: v.status for v in dirty}
+    assert statuses == {"drift": "breach", "exact": "breach"}
+
+
+def test_default_ruleset_loads_and_self_gates():
+    """The committed ruleset parses (flat-YAML, no PyYAML installed)
+    and re-expresses the repo's gates: the committed envelopes must
+    clear their own rules."""
+    rules = load_rules(DEFAULT_RULES)
+    names = {r.name for r in rules}
+    assert {"kernels-batched-speedup-floor", "ledger-overhead-budget",
+            "calibration-memory-drift", "exact-plan-choice",
+            "ledger-no-parse-errors"} <= names
+    kernels = os.path.join(REPO_ROOT, "BENCH_kernels.json")
+    verdicts = evaluate_slo(rules, kernels)
+    assert not has_breach(verdicts)
+    statuses = {v.rule.name: v.status for v in verdicts}
+    assert statuses["kernels-batched-speedup-floor"] == "pass"
+    assert statuses["ledger-overhead-budget"] == "pass"
+    calibration = os.path.join(REPO_ROOT, "BENCH_calibration.json")
+    verdicts = evaluate_slo(rules, calibration, baseline=calibration)
+    assert not has_breach(verdicts)
+    statuses = {v.rule.name: v.status for v in verdicts}
+    assert statuses["calibration-memory-drift"] == "pass"
+
+
+def test_load_rules_json_and_yaml_agree(tmp_path):
+    yaml_rules = load_rules(DEFAULT_RULES)
+    as_json = os.path.join(str(tmp_path), "rules.json")
+    with open(as_json, "w") as fh:
+        json.dump(
+            {"rules": [vars(r) for r in yaml_rules]}, fh, default=str)
+    assert load_rules(as_json) == yaml_rules
+
+
+# ---------------------------------------------------------------------
+# CLI: run/resume parity, top, report --slo
+# ---------------------------------------------------------------------
+def _cli(*argv):
+    from repro.cli import main
+    return main(list(argv))
+
+
+def test_cli_run_and_resume_share_observability_flags():
+    """Satellite: resume registers the identical observability flag
+    set as run, via the one shared helper."""
+    from repro.cli import build_parser
+    parser = build_parser()
+    subparsers = next(
+        a for a in parser._actions
+        if isinstance(a, type(parser._subparsers._group_actions[0])))
+    flag_names = {}
+    for name in ("run", "resume"):
+        sub = subparsers.choices[name]
+        flag_names[name] = {
+            o for a in sub._actions for o in a.option_strings
+            if o in ("--trace", "--trace-json", "--metrics",
+                     "--metrics-json", "--progress", "--ledger",
+                     "--perfetto")
+        }
+    assert flag_names["run"] == flag_names["resume"] == {
+        "--trace", "--trace-json", "--metrics", "--metrics-json",
+        "--progress", "--ledger", "--perfetto",
+    }
+
+
+def test_cli_run_writes_ledger_and_perfetto(tmp_path, capsys):
+    ledger = os.path.join(str(tmp_path), "run.ledger.jsonl")
+    perfetto = os.path.join(str(tmp_path), "run.perfetto.json")
+    rc = _cli("run", "--records", "48", "--nodes", "2", "--model",
+              "alexnet", "--layers", "2", "--progress",
+              "--ledger", ledger, "--perfetto", perfetto)
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "progress:" in out
+    events, problems = read_ledger(ledger)
+    assert problems == [] and validate_events(events) == []
+    assert {"run_meta", "stage_plan", "optimizer_decision",
+            "run_end"} <= {e["kind"] for e in events}
+    doc = json.load(open(perfetto))
+    assert validate_chrome_trace(doc) == []
+
+
+def test_cli_top_renders_and_validates(tmp_path, capsys):
+    ledger = os.path.join(str(tmp_path), "run.ledger.jsonl")
+    assert _cli("run", "--records", "48", "--nodes", "2", "--model",
+                "alexnet", "--layers", "2", "--ledger", ledger) == 0
+    capsys.readouterr()
+    assert _cli("top", ledger) == 0
+    out = capsys.readouterr().out
+    assert "run ok" in out
+    assert _cli("top", ledger, "--validate") == 0
+    # Corrupt an interior line: --validate must now fail.
+    lines = open(ledger, "rb").read().split(b"\n")
+    lines[1] = b"{not json"
+    with open(ledger, "wb") as fh:
+        fh.write(b"\n".join(lines))
+    capsys.readouterr()
+    assert _cli("top", ledger, "--validate") == 1
+
+
+def test_cli_report_slo_exit_codes(tmp_path, capsys):
+    ledger = os.path.join(str(tmp_path), "run.ledger.jsonl")
+    assert _cli("run", "--records", "48", "--nodes", "2", "--model",
+                "alexnet", "--layers", "2", "--ledger", ledger) == 0
+    assert _cli("report", "--slo", DEFAULT_RULES, ledger) == 0
+    out = capsys.readouterr().out
+    assert "0 breach" in out
+    # A breaching ruleset exits 1.
+    breaching = os.path.join(str(tmp_path), "strict.json")
+    with open(breaching, "w") as fh:
+        json.dump({"rules": [{
+            "name": "impossible", "metric": "ledger.count:run_end",
+            "comparator": ">=", "threshold": 99,
+        }]}, fh)
+    assert _cli("report", "--slo", breaching, ledger) == 1
+    # --slo without a target is a usage error.
+    assert _cli("report", "--slo", DEFAULT_RULES) == 2
+
+
+def test_cli_resume_accepts_ledger(tmp_path):
+    ckpt = os.path.join(str(tmp_path), "ckpts")
+    ledger = os.path.join(str(tmp_path), "resume.ledger.jsonl")
+    assert _cli("run", "--records", "48", "--nodes", "2", "--model",
+                "alexnet", "--layers", "2",
+                "--checkpoint-dir", ckpt) == 0
+    assert _cli("resume", "--records", "48", "--nodes", "2", "--model",
+                "alexnet", "--layers", "2", "--checkpoint-dir", ckpt,
+                "--ledger", ledger) == 0
+    events, problems = read_ledger(ledger)
+    assert problems == [] and validate_events(events) == []
+    assert any(e["kind"] == "run_end" for e in events)
