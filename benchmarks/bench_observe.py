@@ -15,8 +15,12 @@ off at mini scale until observed stage times reprice them.
 The same ledger is then replayed through the rest of the
 observability stack as a self-check — ``obs/v1`` validation, the
 Perfetto exporter, and the committed ``slo/default.yaml`` ruleset —
-and the committed ``BENCH_observe.json`` envelope records all of it so
-future PRs have an ETA-accuracy trajectory to compare against. The
+and every repeat's ledger is ingested into a fresh run-history
+warehouse (:class:`~repro.observe.HistoryStore`) to score ingest
+throughput in events summarized per second plus the span-diff cost of
+the CI twin gate. The committed ``BENCH_observe.json`` envelope
+records all of it so future PRs have an ETA-accuracy and
+ingest-throughput trajectory to compare against. The
 result file is intentionally tracked in git: it is the record, not a
 scratch artifact.
 
@@ -33,6 +37,7 @@ import os
 import statistics
 import sys
 import tempfile
+import time
 
 sys.path.insert(0, os.path.dirname(__file__))
 
@@ -41,9 +46,11 @@ from harness import print_table, trace_payload, write_results  # noqa: E402
 from repro.core.api import Vista, default_resources  # noqa: E402
 from repro.data import foods_dataset  # noqa: E402
 from repro.observe import (  # noqa: E402
+    HistoryStore,
     ProgressState,
     RunLedger,
     chrome_trace,
+    diff_runs,
     evaluate_slo,
     has_breach,
     load_rules,
@@ -128,6 +135,7 @@ def main(argv=None):
     rows = []
     last_tracer = None
     last_events = None
+    ledger_paths = []
     with tempfile.TemporaryDirectory() as tmp:
         for repeat in range(repeats):
             ledger_path = os.path.join(tmp, f"run{repeat}.ledger.jsonl")
@@ -142,6 +150,7 @@ def main(argv=None):
             last_tracer = tracer
             last_events = events
             last_ledger_path = ledger_path
+            ledger_paths.append(ledger_path)
 
         # Replay the final ledger through the rest of the stack: the
         # file parses cleanly, validates as obs/v1, renders as a
@@ -164,6 +173,44 @@ def main(argv=None):
             ),
         }
 
+        # Ingest throughput: every repeat's ledger flows into a fresh
+        # run-history warehouse; score events summarized per second,
+        # then span-diff the first two repeats the way the CI twin
+        # gate does. Wall seconds jitter between repeats, so only the
+        # deterministic regression tier (sim/status/recovery/memory)
+        # must be empty here.
+        store = HistoryStore(os.path.join(tmp, "history"))
+        total_events = 0
+        ingest_start = time.perf_counter()
+        run_records = []
+        for ledger_path in ledger_paths:
+            record, created = store.ingest(ledger_path)
+            assert created, f"duplicate ingest of {ledger_path}"
+            total_events += record["events"]
+            run_records.append(record)
+        ingest_s = time.perf_counter() - ingest_start
+        _, re_created = store.ingest(ledger_paths[-1])
+        assert not re_created, "re-ingest must be idempotent"
+        diff_s = None
+        deterministic_regressions = 0
+        if len(run_records) >= 2:
+            diff_start = time.perf_counter()
+            diff = diff_runs(run_records[0], run_records[1])
+            diff_s = time.perf_counter() - diff_start
+            deterministic_regressions = sum(
+                1 for regression in diff["regressions"]
+                if not all(reason.startswith("wall ")
+                           for reason in regression["reasons"])
+            )
+        history = {
+            "runs_ingested": len(run_records),
+            "ledger_events": total_events,
+            "ingest_s": round(ingest_s, 6),
+            "events_per_s": round(total_events / max(ingest_s, 1e-9), 1),
+            "diff_s": round(diff_s, 6) if diff_s is not None else None,
+            "deterministic_regressions": deterministic_regressions,
+        }
+
     print_table(
         f"Halfway-ETA accuracy ({args.records} records, "
         f"{args.layers} layers, process backend, repeats={repeats})",
@@ -182,6 +229,7 @@ def main(argv=None):
         ],
     )
     print(f"ledger replay: {replay}")
+    print(f"history ingest: {history}")
 
     lo, hi = ETA_RATIO_BAND
     median_ratio = statistics.median(r["ratio"] for r in rows)
@@ -197,9 +245,14 @@ def main(argv=None):
     assert replay["slo_breaches"] == 0, (
         "a clean run must clear slo/default.yaml"
     )
+    assert history["deterministic_regressions"] == 0, (
+        "twin repeats must span-diff with zero deterministic "
+        "regressions"
+    )
 
     results = [dict(r, scenario="eta") for r in rows]
     results.append(dict(replay, scenario="replay"))
+    results.append(dict(history, scenario="history"))
     out_path = args.out or RESULT_PATH
     if args.out or not args.quick:
         write_results(out_path, trace_payload(

@@ -32,6 +32,13 @@ report
     attribution), diff two exports against a regression gate, or
     evaluate a declarative SLO ruleset (``--slo RULES TARGET``)
     against an envelope or run ledger, exiting nonzero on breach.
+history
+    The run-history warehouse: ``ingest`` obs/v1 ledgers and trace/v2
+    envelopes into an append-only store of ``runsum/v1`` summaries,
+    ``list``/``show`` them, ``diff`` two runs span-by-span
+    (flamegraph-style, exiting nonzero on regressions), and ``trend``
+    metric timelines with robust change-point detection (``--gate``
+    exits nonzero on flagged drift).
 """
 
 from __future__ import annotations
@@ -95,6 +102,13 @@ def _add_observability_args(parser):
         help="write a Chrome trace-event JSON (driver spans + wave "
              "scheduler + forked-worker pid tracks) loadable in "
              "ui.perfetto.dev",
+    )
+    parser.add_argument(
+        "--inject-straggler", metavar="PART:SECONDS", default=None,
+        help="deterministically delay the task for partition PART by "
+             "SECONDS on the simulated clock (a seeded straggler "
+             "fault) — the controlled drift source the history trend "
+             "gate is exercised against in CI",
     )
 
 
@@ -289,6 +303,29 @@ def _finalize_ledger(args, ledger, tracer):
               f"{ledger.path}`)")
 
 
+def _straggler_context(vista, config, spec):
+    """Build the run's cluster context with a seeded straggler fault
+    wired in: ``PART:SECONDS`` delays that partition's task on the
+    simulated clock (no failure), recording a ``recovery`` event —
+    the deterministic drift source the history trend gate flags."""
+    from repro.faults import FaultInjector, FaultPlan, equip_context
+
+    part_text, _, delay_text = str(spec).partition(":")
+    try:
+        partition = int(part_text)
+        delay_s = float(delay_text) if delay_text else 10.0
+    except ValueError:
+        raise SystemExit(
+            f"--inject-straggler expects PART:SECONDS, got {spec!r}"
+        ) from None
+    context = vista.build_context(config)
+    injector = FaultInjector(
+        FaultPlan().straggler(partition=partition, delay_s=delay_s),
+        seed=0,
+    )
+    return equip_context(context, injector=injector)
+
+
 def cmd_run(args):
     from repro import Vista
     from repro.core.config import Resources
@@ -330,15 +367,27 @@ def cmd_run(args):
     )
     config = vista.optimize(tracer=tracer, metrics=metrics_registry)
     print(f"optimizer: {config.describe()}")
+    context = None
+    if getattr(args, "inject_straggler", None):
+        context = _straggler_context(vista, config, args.inject_straggler)
     if ledger is not None:
-        from repro.observe import ProgressRenderer, predict_stage_plan
-
-        ledger.emit(
-            "run_meta", model=args.model, dataset=args.dataset,
-            records=args.records, nodes=args.nodes,
-            layers=args.layers or 2,
-            exec_backend=getattr(args, "backend", None) or "serial",
+        from repro.observe import (
+            ProgressRenderer,
+            environment_meta,
+            predict_stage_plan,
+            run_fingerprint,
         )
+
+        meta = {
+            "model": args.model, "dataset": args.dataset,
+            "records": args.records, "nodes": args.nodes,
+            "layers": args.layers or 2,
+            "exec_backend": getattr(args, "backend", None) or "serial",
+            "resumed": bool(getattr(args, "_resumed", False)),
+            "env": environment_meta(),
+        }
+        ledger.emit("run_meta", fingerprint=run_fingerprint(meta),
+                    **meta)
         stage_plan = predict_stage_plan(
             vista.model_stats, vista.layers, vista.dataset_stats,
             vista.plan, config, vista.resources, backend=vista.backend,
@@ -348,7 +397,8 @@ def cmd_run(args):
         if args.progress:
             ledger.listeners.append(ProgressRenderer(stage_plan))
     try:
-        result = vista.run(tracer=tracer, metrics=metrics_registry,
+        result = vista.run(context=context, tracer=tracer,
+                           metrics=metrics_registry,
                            checkpoint_store=checkpoint_store,
                            ledger=ledger)
     except WorkloadCrash as crash:
@@ -442,6 +492,9 @@ def cmd_resume(args):
             file=sys.stderr,
         )
         return 2
+    # Mark the run_meta so history summaries can tell a resumed run
+    # from a fresh one with the same workload fingerprint inputs.
+    args._resumed = True
     return cmd_run(args)
 
 
@@ -612,6 +665,132 @@ def cmd_report(args):
     return 2
 
 
+def _default_history_rules(args):
+    """Resolve the trend ruleset: ``--rules`` wins, else the repo's
+    ``slo/default.yaml`` when the working directory has one."""
+    import os
+
+    if getattr(args, "rules", None):
+        return args.rules
+    candidate = os.path.join("slo", "default.yaml")
+    return candidate if os.path.exists(candidate) else None
+
+
+def cmd_history(args):
+    from repro.observe import HistoryStore
+
+    store = HistoryStore(args.store)
+    command = args.history_command
+    if command == "ingest":
+        slo_rules = None
+        rules_path = _default_history_rules(args)
+        if rules_path is not None:
+            from repro.observe import load_rules
+
+            try:
+                slo_rules = load_rules(rules_path)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"history ingest: bad ruleset {rules_path!r}: "
+                      f"{exc}", file=sys.stderr)
+                return 2
+        failures = 0
+        for path in args.paths:
+            try:
+                record, created = store.ingest(path, slo_rules=slo_rules)
+            except (OSError, ValueError) as exc:
+                print(f"history ingest: {path}: {exc}", file=sys.stderr)
+                failures += 1
+                continue
+            verb = "ingested" if created else "already ingested"
+            print(
+                f"{verb} {record['run_id']} [{record['kind']}] "
+                f"status={record['status']} "
+                f"stages={len(record.get('stages') or {})} "
+                f"from {path}"
+            )
+        return 2 if failures else 0
+    if command == "list":
+        from repro.report import render_history_list
+
+        records = store.summaries(last=args.last)
+        print(render_history_list(records,
+                                  title=f"run history ({store.root})"))
+        return 0 if records else 2
+    # show / diff / trend all need a non-empty store.
+    ids = store.run_ids()
+    if not ids:
+        print(f"history {command}: store {store.root!r} is empty "
+              "(run `repro history ingest` first)", file=sys.stderr)
+        return 2
+    if command == "show":
+        from repro.report import render_history_show
+
+        try:
+            record = store.load(store.resolve(args.run))
+        except (KeyError, ValueError, OSError) as exc:
+            print(f"history show: {exc}", file=sys.stderr)
+            return 2
+        print(render_history_show(record))
+        return 0
+    if command == "diff":
+        from repro.observe import diff_runs, has_regressions
+        from repro.report import render_history_diff
+
+        try:
+            base = store.load(store.resolve(args.run_a))
+            target = store.load(store.resolve(args.run_b))
+        except (KeyError, ValueError, OSError) as exc:
+            print(f"history diff: {exc}", file=sys.stderr)
+            return 2
+        diff = diff_runs(base, target,
+                         wall_ratio_gate=args.wall_gate,
+                         wall_floor_s=args.wall_floor)
+        print(render_history_diff(diff))
+        return 1 if has_regressions(diff) else 0
+    if command == "trend":
+        from repro.observe import (
+            HistoryRule,
+            evaluate_trend,
+            load_history_rules,
+            trend_has_breach,
+        )
+        from repro.report import render_trend
+
+        if args.metric:
+            rules = [
+                HistoryRule(name=f"metric:{spec}", metric=spec,
+                            threshold=args.threshold,
+                            min_runs=args.min_runs)
+                for spec in args.metric
+            ]
+        else:
+            rules_path = _default_history_rules(args)
+            if rules_path is None:
+                print("history trend: no --metric and no ruleset "
+                      "(pass --rules FILE or run from a checkout "
+                      "with slo/default.yaml)", file=sys.stderr)
+                return 2
+            try:
+                rules = load_history_rules(rules_path)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"history trend: bad ruleset {rules_path!r}: "
+                      f"{exc}", file=sys.stderr)
+                return 2
+            if not rules:
+                print(f"history trend: {rules_path!r} has no "
+                      "history: scope", file=sys.stderr)
+                return 2
+        report = evaluate_trend(store.summaries(), rules,
+                                last=args.last)
+        print(render_trend(
+            report, title=f"history trend ({store.root})"
+        ))
+        if args.gate and trend_has_breach(report):
+            return 1
+        return 0
+    raise AssertionError(f"unknown history command {command!r}")
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -767,6 +946,86 @@ def build_parser():
     )
     report.add_argument("--width", type=int, default=60,
                         help="waterline chart width in columns")
+
+    history = sub.add_parser(
+        "history",
+        help="run-history warehouse: ingest obs/v1 ledgers / trace/v2 "
+             "envelopes, span-aligned profile diffs, drift timelines",
+    )
+    history.add_argument(
+        "--store", metavar="DIR", default="history",
+        help="history store directory (default ./history)",
+    )
+    hsub = history.add_subparsers(dest="history_command", required=True)
+    h_ingest = hsub.add_parser(
+        "ingest", help="summarize source files into the store "
+                       "(idempotent: re-ingesting is a no-op)",
+    )
+    h_ingest.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="obs/v1 ledgers and/or trace/v2 envelopes",
+    )
+    h_ingest.add_argument(
+        "--rules", metavar="FILE", default=None,
+        help="SLO ruleset evaluated at ingest time; verdict counts "
+             "are stored on the record (default: slo/default.yaml "
+             "when present)",
+    )
+    h_list = hsub.add_parser("list", help="list ingested runs")
+    h_list.add_argument("--last", type=int, default=None, metavar="K",
+                        help="show only the K newest runs")
+    h_show = hsub.add_parser("show", help="show one run's summary")
+    h_show.add_argument(
+        "run", metavar="RUN",
+        help="run id prefix, or @N / @-N ingest-order ordinal",
+    )
+    h_diff = hsub.add_parser(
+        "diff", help="span-aligned flamegraph diff of two runs; exit "
+                     "1 on any regression",
+    )
+    h_diff.add_argument("run_a", metavar="RUN_A",
+                        help="base run (id prefix or @N ordinal)")
+    h_diff.add_argument("run_b", metavar="RUN_B",
+                        help="target run (id prefix or @N ordinal)")
+    h_diff.add_argument(
+        "--wall-gate", type=float, default=2.0, metavar="RATIO",
+        help="wall-second regression ratio gate (default 2.0x)",
+    )
+    h_diff.add_argument(
+        "--wall-floor", type=float, default=0.5, metavar="SECONDS",
+        help="absolute wall-second floor a regression must also clear "
+             "(default 0.5s)",
+    )
+    h_trend = hsub.add_parser(
+        "trend", help="robust (median/MAD) change-point detection "
+                      "over the run timeline",
+    )
+    h_trend.add_argument(
+        "--metric", action="append", default=None, metavar="GLOB",
+        help="ad-hoc metric spec(s) over runsum/v1 records (e.g. "
+             "stages.*.sim_s); repeatable; default: the history: "
+             "scope of slo/default.yaml",
+    )
+    h_trend.add_argument(
+        "--rules", metavar="FILE", default=None,
+        help="ruleset file providing the history: scope "
+             "(default slo/default.yaml)",
+    )
+    h_trend.add_argument("--last", type=int, default=None, metavar="K",
+                         help="detect over only the K newest runs")
+    h_trend.add_argument(
+        "--threshold", type=float, default=3.5, metavar="Z",
+        help="robust z-score threshold for --metric rules "
+             "(default 3.5)",
+    )
+    h_trend.add_argument(
+        "--min-runs", type=int, default=3, metavar="N",
+        help="minimum runs before a series is judged (default 3)",
+    )
+    h_trend.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 when any breach-severity drift is flagged",
+    )
     return parser
 
 
@@ -782,6 +1041,7 @@ def main(argv=None):
         "explain": cmd_explain,
         "top": cmd_top,
         "report": cmd_report,
+        "history": cmd_history,
     }
     return handlers[args.command](args)
 

@@ -57,7 +57,7 @@ class _Instrument:
         self.labels = dict(labels)
         self.samples = []  # [sim_time, tick, value]
 
-    def _append(self, value):
+    def _append(self, value, crest=False):
         # Hot path (every charge/release/inc lands here): the clock
         # read and tick bump are inlined rather than going through
         # _now()/_next_tick() — the call overhead alone is measurable
@@ -77,9 +77,16 @@ class _Instrument:
             # Throttled: the first sample of a series and every
             # ``sink_every``-th after it stream into the run ledger —
             # enough for live counter tracks without paying a ledger
-            # line per sample against the 5% overhead budget.
+            # line per sample against the 5% overhead budget. The one
+            # exception is a ``crest`` sample (a gauge setting a new
+            # peak/low watermark): those always stream, so a mid-run
+            # memory spike that falls between throttle points still
+            # survives into the ledger and the history summaries.
+            # Crest emits are self-bounding — each one requires a
+            # strictly new watermark, so a series pays at most one
+            # extra line per new extreme, not one per sample.
             count = len(self.samples)
-            if count == 1 or count % registry.sink_every == 0:
+            if crest or count == 1 or count % registry.sink_every == 0:
                 sink.emit("metric", metric=self.name,
                           labels=self.labels, value=value)
 
@@ -143,11 +150,14 @@ class Gauge(_Instrument):
 
     def set(self, value):
         self.value = value
+        crest = False
         if self.peak is None or value > self.peak:
             self.peak = value
+            crest = True
         if self.low is None or value < self.low:
             self.low = value
-        self._append(value)
+            crest = True
+        self._append(value, crest=crest)
         return value
 
     def add(self, delta):

@@ -23,6 +23,22 @@ Where :mod:`repro.trace` and :mod:`repro.metrics` answer questions
   breach.
 """
 
+from repro.observe.diff import diff_runs, has_regressions
+from repro.observe.history import (
+    HistoryRule,
+    HistoryStore,
+    RUNSUM_SCHEMA,
+    environment_meta,
+    evaluate_trend,
+    load_history_rules,
+    run_fingerprint,
+    spans_from_events,
+    spans_from_trace,
+    summarize_envelope,
+    summarize_ledger,
+    summarize_path,
+    trend_has_breach,
+)
 from repro.observe.ledger import (
     LEDGER_SCHEMA,
     NULL_LEDGER,
@@ -47,27 +63,44 @@ from repro.observe.slo import (
     evaluate_slo,
     has_breach,
     load_rules,
+    load_ruleset,
     load_slo_source,
     render_slo,
 )
 
 __all__ = [
+    "HistoryRule",
+    "HistoryStore",
     "LEDGER_SCHEMA",
     "NULL_LEDGER",
     "ProgressRenderer",
     "ProgressState",
+    "RUNSUM_SCHEMA",
     "RunLedger",
     "SloRule",
     "StagePlan",
     "chrome_trace",
+    "diff_runs",
+    "environment_meta",
     "evaluate_slo",
+    "evaluate_trend",
     "has_breach",
+    "has_regressions",
+    "load_history_rules",
     "load_rules",
+    "load_ruleset",
     "load_slo_source",
     "predict_stage_plan",
     "read_ledger",
     "render_progress",
     "render_slo",
+    "run_fingerprint",
+    "spans_from_events",
+    "spans_from_trace",
+    "summarize_envelope",
+    "summarize_ledger",
+    "summarize_path",
+    "trend_has_breach",
     "validate_chrome_trace",
     "validate_events",
     "write_chrome_trace",

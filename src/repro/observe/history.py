@@ -1,0 +1,960 @@
+"""The run-history warehouse: cross-run analytics over ``obs/v1``.
+
+Every observed run already leaves a complete record — an ``obs/v1``
+ledger or a ``trace/v2`` bench envelope — and until now the repo threw
+it away after `repro top`/SLO gating. This module keeps them: each
+source file is *summarized* into one compact ``runsum/v1`` record
+(workload identity and environment fingerprint, chosen plan knobs,
+per-stage wall/sim/self seconds, per-region memory peaks vs budgets,
+online-calibration ratios, recovery counts, metric-series peaks, SLO
+verdict counts) and appended to an on-disk :class:`HistoryStore`, so
+drift questions become queries over a timeline instead of a pair of
+ad-hoc files.
+
+Store layout and durability
+---------------------------
+``<store>/runs/<run_id>.json`` holds one record per run, written with
+the same tmp + fsync + ``os.replace`` discipline as the checkpoint
+store (:func:`repro.recovery.store.atomic_write_bytes`), so a torn
+write can never masquerade as a record. ``<store>/index.jsonl`` is the
+append-only ingest order — one JSON line per run, appended with a
+single ``O_APPEND`` write and read with the same one-torn-tail
+tolerance as :func:`repro.observe.ledger.read_ledger`. The record file
+is written *before* the index line, and listing self-heals by scanning
+``runs/`` for records a crash left unindexed, so the index can lag but
+never lie.
+
+``run_id`` is the SHA-256 of the *source file bytes* (first 16 hex
+chars), which makes ingest idempotent by construction: re-ingesting
+the same ledger returns the existing record without touching disk.
+
+Change-point detection
+----------------------
+:func:`evaluate_trend` flags drift with a robust z-score over the
+last-K window of each metric series: ``z = (v - median) / scale`` with
+``scale = max(1.4826·MAD, 0.05·|median|, 1e-9)``. Median/MAD instead
+of mean/stddev so one outlier run cannot mask itself by inflating the
+spread; the 5%-of-median floor keeps near-constant series (wall
+seconds that jitter by microseconds) from flagging noise. Rules live
+in ``slo/default.yaml`` under the ``history:`` scope, reusing the SLO
+file format and the dotted-path + glob metric grammar — a trend metric
+is resolved against the ``runsum/v1`` record itself (e.g.
+``stages.*.sim_s``, ``recovery.total``, ``memory.*.peak_bytes``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass
+
+import fnmatch
+
+from repro.metrics import METRICS_SCHEMA
+from repro.observe.ledger import LEDGER_SCHEMA, read_ledger
+
+#: Version tag carried by every summary record.
+RUNSUM_SCHEMA = "runsum/v1"
+
+#: The observability schema versions a run was recorded under — part
+#: of the environment fingerprint, so a summary produced by an older
+#: ledger format never silently compares as the same environment.
+SCHEMA_VERSIONS = {
+    "ledger": LEDGER_SCHEMA,
+    "envelope": "trace/v2",
+    "metrics": METRICS_SCHEMA,
+    "summary": RUNSUM_SCHEMA,
+}
+
+#: Envelope fields stripped from ledger events when lifting their
+#: payload into a summary block.
+_ENVELOPE_FIELDS = ("schema", "seq", "wall_s", "sim_time_s", "kind")
+
+
+# ----------------------------------------------------------------------
+# environment fingerprint
+# ----------------------------------------------------------------------
+def _repo_dirty():
+    """True/False when the working tree's cleanliness is knowable,
+    None when it is not (no git, not a repo, git times out)."""
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, timeout=5.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return bool(proc.stdout.strip())
+
+
+def environment_meta():
+    """The stable environment fingerprint block recorded in
+    ``run_meta``: enough to tell two machines (or two checkouts)
+    apart without recording anything volatile like hostnames or
+    timestamps."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "repo_dirty": _repo_dirty(),
+        "schemas": dict(SCHEMA_VERSIONS),
+    }
+
+
+def run_fingerprint(meta):
+    """Stable 16-hex-char digest of a ``run_meta`` payload (workload
+    identity + environment). Canonical JSON, so dict insertion order
+    cannot change the fingerprint."""
+    payload = json.dumps(meta, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# span reconstruction from the flat ledger stream
+# ----------------------------------------------------------------------
+def spans_from_events(events):
+    """Rebuild the span tree a ledger's flat ``span_start``/``span_end``
+    stream recorded, as a list of span dicts in start order.
+
+    Each span carries a ``path`` — ancestor names joined with ``/``,
+    with an ``@N`` occurrence suffix for repeated siblings (the second
+    ``join`` under ``workload`` is ``workload/join@2``) — which is the
+    alignment key :func:`repro.observe.diff.diff_runs` joins on.
+    ``self_s`` is wall seconds minus the direct children's wall
+    seconds, clamped at zero. Spans left open at the end of the stream
+    (a torn ledger) close with status ``"torn"`` and the last wall
+    offset the ledger reached.
+    """
+    spans = []
+    stack = []
+    root_counts = {}
+    last_wall = 0.0
+    last_sim = 0.0
+    start_seq = 0
+
+    def close(frame, wall_s, sim_s, status):
+        span = {
+            "path": frame["path"],
+            "name": frame["name"],
+            "depth": frame["depth"],
+            "start_seq": frame["start_seq"],
+            "wall_s": round(max(0.0, wall_s), 9),
+            "sim_s": round(max(0.0, sim_s), 9),
+            "self_s": round(max(0.0, wall_s - frame["children_s"]), 9),
+            "status": status,
+        }
+        spans.append(span)
+        if stack:
+            stack[-1]["children_s"] += span["wall_s"]
+        return span
+
+    for event in events:
+        wall = float(event.get("wall_s") or 0.0)
+        sim = float(event.get("sim_time_s") or 0.0)
+        last_wall = max(last_wall, wall)
+        last_sim = max(last_sim, sim)
+        kind = event.get("kind")
+        if kind == "span_start":
+            name = str(event.get("name") or "span")
+            counts = stack[-1]["counts"] if stack else root_counts
+            seen = counts.get(name, 0)
+            counts[name] = seen + 1
+            label = name if seen == 0 else f"{name}@{seen + 1}"
+            path = f"{stack[-1]['path']}/{label}" if stack else label
+            start_seq += 1
+            stack.append({
+                "name": name, "path": path, "depth": len(stack),
+                "start_seq": start_seq, "wall_start": wall,
+                "sim_start": sim, "children_s": 0.0, "counts": {},
+            })
+        elif kind == "span_end":
+            name = str(event.get("name") or "span")
+            if not any(frame["name"] == name for frame in stack):
+                continue
+            while stack:
+                frame = stack.pop()
+                matched = frame["name"] == name
+                if matched and event.get("span_s") is not None:
+                    wall_s = float(event["span_s"])
+                else:
+                    wall_s = wall - frame["wall_start"]
+                status = (str(event.get("status") or "ok")
+                          if matched else "torn")
+                close(frame, wall_s, sim - frame["sim_start"], status)
+                if matched:
+                    break
+    while stack:
+        frame = stack.pop()
+        close(frame, last_wall - frame["wall_start"],
+              last_sim - frame["sim_start"], "torn")
+    spans.sort(key=lambda span: span["start_seq"])
+    return spans
+
+
+def spans_from_trace(tree, skip_root=True):
+    """The same span-dict list, from an *exported* trace tree (the
+    ``trace`` block of a ``trace/v2`` envelope). ``skip_root`` drops
+    the tracer's implicit root span so envelope paths align with
+    ledger paths (the root never streams through the ledger sink)."""
+    if not tree:
+        return []
+    spans = []
+    seq = [0]
+
+    def walk(node, parent_path, depth, counts):
+        name = str(node.get("name") or "span")
+        seen = counts.get(name, 0)
+        counts[name] = seen + 1
+        label = name if seen == 0 else f"{name}@{seen + 1}"
+        path = f"{parent_path}/{label}" if parent_path else label
+        children = node.get("children") or []
+        wall_s = float(node.get("wall_s") or 0.0)
+        children_s = sum(float(c.get("wall_s") or 0.0) for c in children)
+        seq[0] += 1
+        spans.append({
+            "path": path,
+            "name": name,
+            "depth": depth,
+            "start_seq": seq[0],
+            "wall_s": round(max(0.0, wall_s), 9),
+            "sim_s": round(max(0.0, float(node.get("sim_end_s") or 0.0)
+                                - float(node.get("sim_start_s") or 0.0)), 9),
+            "self_s": round(max(0.0, wall_s - children_s), 9),
+            "status": str(node.get("status") or "ok"),
+        })
+        child_counts = {}
+        for child in children:
+            walk(child, path, depth + 1, child_counts)
+
+    if skip_root:
+        counts = {}
+        for child in tree.get("children") or []:
+            walk(child, "", 0, counts)
+        if not spans:
+            walk(tree, "", 0, {})
+    else:
+        walk(tree, "", 0, {})
+    return spans
+
+
+# ----------------------------------------------------------------------
+# summarization: one runsum/v1 record per run
+# ----------------------------------------------------------------------
+def _payload(event):
+    return {key: value for key, value in event.items()
+            if key not in _ENVELOPE_FIELDS}
+
+
+def _stages_from_spans(spans):
+    """Per-stage seconds from the span list: depth-0 spans plus the
+    direct children of ``workload`` (keyed without the ``workload/``
+    prefix, so ledger and envelope runs align on the same keys)."""
+    stages = {}
+    for span in spans:
+        if span["depth"] == 0:
+            key = span["path"]
+        elif span["depth"] == 1 and span["path"].startswith("workload/"):
+            key = span["path"][len("workload/"):]
+        else:
+            continue
+        stages[key] = {
+            "wall_s": span["wall_s"],
+            "sim_s": span["sim_s"],
+            "self_s": span["self_s"],
+            "status": span["status"],
+        }
+    return stages
+
+
+def _metric_key(name, labels):
+    if not labels:
+        return str(name)
+    inner = ",".join(
+        f"{key}={labels[key]}" for key in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
+
+
+def _region_key(labels):
+    parts = [str(labels[key]) for key in ("worker", "region")
+             if key in labels]
+    return "/".join(parts) if parts else "all"
+
+
+def _memory_from_events(events):
+    peaks = {}
+    budgets = {}
+    for event in events:
+        if event.get("kind") != "metric":
+            continue
+        name = event.get("metric")
+        if name not in ("mem_used_bytes", "mem_capacity_bytes"):
+            continue
+        labels = event.get("labels") or {}
+        key = _region_key(labels)
+        try:
+            value = float(event.get("value") or 0.0)
+        except (TypeError, ValueError):
+            continue
+        if name == "mem_used_bytes":
+            peaks[key] = max(peaks.get(key, 0.0), value)
+        else:
+            budgets[key] = value
+    memory = {}
+    for key in sorted(set(peaks) | set(budgets)):
+        peak = peaks.get(key)
+        budget = budgets.get(key)
+        memory[key] = {
+            "peak_bytes": peak,
+            "budget_bytes": budget,
+            "over_budget": bool(
+                peak is not None and budget and peak > budget
+            ),
+        }
+    return memory
+
+
+def _metric_peaks_from_events(events):
+    peaks = {}
+    for event in events:
+        if event.get("kind") != "metric":
+            continue
+        key = _metric_key(event.get("metric"),
+                          event.get("labels") or {})
+        try:
+            value = float(event.get("value") or 0.0)
+        except (TypeError, ValueError):
+            continue
+        peaks[key] = max(peaks.get(key, value), value)
+    return peaks
+
+
+def _calibration_from_events(events):
+    """Replay the ledger through the live progress monitor to recover
+    the online calibration ratios (overall and per stage kind); None
+    when the run carried no ``stage_plan``."""
+    from repro.observe.progress import ProgressState, StagePlan
+
+    plan_event = next(
+        (e for e in events if e.get("kind") == "stage_plan"), None
+    )
+    if plan_event is None or not plan_event.get("stages"):
+        return None
+    state = ProgressState(StagePlan.from_list(
+        plan_event["stages"], plan_label=plan_event.get("plan")
+    ))
+    for event in events:
+        state.on_event(event)
+    return {
+        "overall": round(state.calibration_ratio(), 9),
+        "buckets": {
+            bucket: round(ratio, 9)
+            for bucket, ratio in sorted(state.bucket_ratios().items())
+        },
+        "stages_done": state.stages_done(),
+        "stages_planned": len(state.plan),
+    }
+
+
+def _slo_block(verdicts):
+    counts = {"breach": 0, "warn": 0, "pass": 0, "skip": 0}
+    failing = []
+    for verdict in verdicts:
+        counts[verdict.status] = counts.get(verdict.status, 0) + 1
+        if verdict.ok is False:
+            failing.append(verdict.rule.name)
+    return {**counts, "failing": sorted(failing)}
+
+
+def summarize_ledger(events, problems=(), source="", slo_rules=None):
+    """Summarize a parsed ``obs/v1`` event stream into a ``runsum/v1``
+    record. A ledger without ``run_end`` (SIGKILLed driver, torn file)
+    is summarized with status ``"torn"`` — never rejected: the whole
+    point of the warehouse is that killed runs still join the
+    timeline."""
+    spans = spans_from_events(events)
+    meta_event = next(
+        (e for e in events if e.get("kind") == "run_meta"), None
+    )
+    meta = _payload(meta_event) if meta_event else {}
+    fingerprint = meta.pop("fingerprint", None) or run_fingerprint(meta)
+    decision = next(
+        (e for e in events if e.get("kind") == "optimizer_decision"), None
+    )
+    end = next(
+        (e for e in events if e.get("kind") == "run_end"), None
+    )
+    recovery = {}
+    for event in events:
+        if event.get("kind") != "recovery":
+            continue
+        what = str(event.get("event") or "?")
+        recovery[what] = recovery.get(what, 0) + 1
+    kinds = {}
+    for event in events:
+        kind = str(event.get("kind") or "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+    record = {
+        "schema": RUNSUM_SCHEMA,
+        "kind": "ledger",
+        "source": str(source),
+        "status": (str(end.get("status") or "ok") if end else "torn"),
+        "meta": meta,
+        "fingerprint": fingerprint,
+        "knobs": _payload(decision) if decision else {},
+        "stages": _stages_from_spans(spans),
+        "spans": spans,
+        "calibration": _calibration_from_events(events),
+        "memory": _memory_from_events(events),
+        "metrics": _metric_peaks_from_events(events),
+        "recovery": {**recovery, "total": sum(recovery.values())},
+        "events": len(events),
+        "events_by_kind": kinds,
+        "parse_problems": list(problems),
+        "wall_s": round(max(
+            (float(e.get("wall_s") or 0.0) for e in events), default=0.0
+        ), 9),
+        "sim_s": round(max(
+            (float(e.get("sim_time_s") or 0.0) for e in events),
+            default=0.0,
+        ), 9),
+    }
+    if slo_rules:
+        from repro.observe.slo import evaluate_slo
+
+        record["slo"] = _slo_block(
+            evaluate_slo(slo_rules, _ledger_source(events, problems))
+        )
+    else:
+        record["slo"] = None
+    return record
+
+
+def _ledger_source(events, problems):
+    """An already-normalized SLO source for a parsed event list (the
+    dict shape :func:`repro.observe.slo.load_slo_source` builds when
+    given a ledger path)."""
+    from repro.observe.ledger import validate_events
+
+    kinds = {}
+    for event in events:
+        kind = event.get("kind", "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+    return {
+        "kind": "ledger",
+        "results": {
+            "ledger_events": len(events),
+            "ledger_parse_errors": len(problems),
+            "ledger_schema_problems": len(validate_events(events)),
+            **{f"events_{kind}": count
+               for kind, count in sorted(kinds.items())},
+        },
+        "params": {},
+        "metrics": None,
+        "ledger": list(events),
+        "ledger_problems": list(problems),
+    }
+
+
+def summarize_envelope(payload, source="", slo_rules=None):
+    """Summarize a ``trace/v2`` bench/run envelope into the same
+    ``runsum/v1`` shape, so benches and live runs share one store."""
+    from repro.metrics import series_peak
+
+    spans = spans_from_trace(payload.get("trace") or {})
+    stages = _stages_from_spans(spans)
+    meta = dict(payload.get("params") or {})
+    meta.setdefault("bench", payload.get("bench"))
+    fingerprint = run_fingerprint(meta)
+    knobs = {}
+    for node in _walk_trace(payload.get("trace") or {}):
+        if node.get("name") == "workload":
+            knobs = {
+                key: value
+                for key, value in (node.get("attrs") or {}).items()
+                if key in ("plan", "cpu", "join", "persistence",
+                           "num_partitions")
+            }
+            break
+    peaks = {}
+    metrics_block = payload.get("metrics") or {}
+    for series in metrics_block.get("series") or ():
+        key = _metric_key(series.get("name"),
+                          series.get("labels") or {})
+        peak = series_peak(series)
+        if peak is not None:
+            try:
+                peaks[key] = max(peaks.get(key, float(peak)), float(peak))
+            except (TypeError, ValueError):
+                continue
+    memory = {}
+    used = {}
+    budgets = {}
+    for series in metrics_block.get("series") or ():
+        name = series.get("name")
+        if name not in ("mem_used_bytes", "mem_capacity_bytes"):
+            continue
+        key = _region_key(series.get("labels") or {})
+        peak = series_peak(series)
+        if peak is None:
+            continue
+        if name == "mem_used_bytes":
+            used[key] = max(used.get(key, 0.0), float(peak))
+        else:
+            budgets[key] = float(peak)
+    for key in sorted(set(used) | set(budgets)):
+        peak = used.get(key)
+        budget = budgets.get(key)
+        memory[key] = {
+            "peak_bytes": peak,
+            "budget_bytes": budget,
+            "over_budget": bool(
+                peak is not None and budget and peak > budget
+            ),
+        }
+    record = {
+        "schema": RUNSUM_SCHEMA,
+        "kind": "envelope",
+        "source": str(source),
+        "status": "ok",
+        "meta": meta,
+        "fingerprint": fingerprint,
+        "knobs": knobs,
+        "stages": stages,
+        "spans": spans,
+        "calibration": None,
+        "memory": memory,
+        "metrics": peaks,
+        "recovery": {"total": 0},
+        "results": payload.get("results") or {},
+        "events": 0,
+        "events_by_kind": {},
+        "parse_problems": [],
+        "wall_s": round(float(
+            (payload.get("trace") or {}).get("wall_s") or 0.0
+        ), 9),
+        "sim_s": 0.0,
+    }
+    if slo_rules:
+        from repro.observe.slo import evaluate_slo
+
+        record["slo"] = _slo_block(evaluate_slo(slo_rules, payload))
+    else:
+        record["slo"] = None
+    return record
+
+
+def _walk_trace(node):
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if not isinstance(current, dict):
+            continue
+        yield current
+        stack.extend(reversed(current.get("children") or ()))
+
+
+def summarize_path(path, slo_rules=None):
+    """Summarize a source file — a ``trace/v2`` envelope or an
+    ``obs/v1`` ledger, sniffed from the content — into a ``runsum/v1``
+    record plus the raw bytes (for content addressing)."""
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    try:
+        payload = json.loads(raw)
+        is_envelope = (
+            isinstance(payload, dict) and "trace" in payload
+            and payload.get("schema", "").startswith("trace/")
+        )
+    except ValueError:
+        payload = None
+        is_envelope = False
+    if is_envelope:
+        record = summarize_envelope(payload, source=path,
+                                    slo_rules=slo_rules)
+    else:
+        events, problems = read_ledger(path)
+        record = summarize_ledger(events, problems, source=path,
+                                  slo_rules=slo_rules)
+    return record, raw
+
+
+# ----------------------------------------------------------------------
+# the on-disk store
+# ----------------------------------------------------------------------
+class HistoryStore:
+    """Append-only warehouse of ``runsum/v1`` records.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created on first use). Records live under
+        ``<root>/runs/``, ingest order in ``<root>/index.jsonl``.
+    """
+
+    INDEX_NAME = "index.jsonl"
+
+    def __init__(self, root):
+        self.root = os.fspath(root)
+        self.runs_dir = os.path.join(self.root, "runs")
+        self.index_path = os.path.join(self.root, self.INDEX_NAME)
+
+    # ------------------------------------------------------------------
+    def _ensure_dirs(self):
+        from repro.recovery.store import reclaim_tmp_files
+
+        os.makedirs(self.runs_dir, exist_ok=True)
+        reclaim_tmp_files(self.runs_dir)
+
+    def _record_path(self, run_id):
+        return os.path.join(self.runs_dir, f"{run_id}.json")
+
+    def _read_index(self):
+        """Index entries in ingest order, tolerating one torn tail
+        (the only tear a single-write append stream can suffer)."""
+        if not os.path.exists(self.index_path):
+            return []
+        with open(self.index_path, "rb") as handle:
+            raw = handle.read()
+        lines = raw.split(b"\n")
+        trailing = raw.endswith(b"\n")
+        if trailing:
+            lines = lines[:-1]
+        entries = []
+        for position, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line.decode("utf-8", errors="replace"))
+                if not isinstance(entry, dict):
+                    raise ValueError("index entry is not an object")
+            except ValueError:
+                if position == len(lines) - 1 and not trailing:
+                    continue  # torn tail: the record file is the truth
+                continue  # interior damage: skip, self-heal below
+            entries.append(entry)
+        return entries
+
+    def _append_index(self, entry):
+        payload = json.dumps(
+            entry, separators=(",", ":"), default=str
+        ).encode("utf-8") + b"\n"
+        fd = os.open(self.index_path,
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------
+    def ingest(self, path, slo_rules=None):
+        """Ingest one source file; returns ``(record, created)``.
+
+        ``run_id`` is content-addressed, so ingesting the same file
+        twice is idempotent: the second call returns the stored record
+        with ``created=False`` and writes nothing."""
+        self._ensure_dirs()
+        record, raw = summarize_path(path, slo_rules=slo_rules)
+        run_id = hashlib.sha256(raw).hexdigest()[:16]
+        record_path = self._record_path(run_id)
+        if os.path.exists(record_path):
+            return self.load(run_id), False
+        known = self.run_ids()
+        record["run_id"] = run_id
+        record["ingested_seq"] = len(known) + 1
+        from repro.recovery.store import atomic_write_bytes
+
+        atomic_write_bytes(record_path, json.dumps(
+            record, indent=2, sort_keys=True, default=str
+        ).encode("utf-8"))
+        self._append_index({
+            "run_id": run_id,
+            "ingested_seq": record["ingested_seq"],
+            "fingerprint": record.get("fingerprint"),
+            "status": record.get("status"),
+            "source": record.get("source"),
+        })
+        return record, True
+
+    def run_ids(self):
+        """Run ids in ingest order. Self-healing: records whose index
+        line was lost (crash between record write and index append, a
+        torn tail) are appended from a ``runs/`` scan, ordered by
+        their recorded ``ingested_seq``."""
+        entries = self._read_index()
+        ids = []
+        seen = set()
+        for entry in entries:
+            run_id = entry.get("run_id")
+            if run_id and run_id not in seen:
+                ids.append(run_id)
+                seen.add(run_id)
+        if os.path.isdir(self.runs_dir):
+            orphans = []
+            for name in os.listdir(self.runs_dir):
+                if not name.endswith(".json"):
+                    continue
+                run_id = name[:-len(".json")]
+                if run_id in seen:
+                    continue
+                try:
+                    record = self.load(run_id)
+                except (OSError, ValueError):
+                    continue
+                orphans.append(
+                    (record.get("ingested_seq") or 0, run_id)
+                )
+            for _, run_id in sorted(orphans):
+                ids.append(run_id)
+                seen.add(run_id)
+        return ids
+
+    def load(self, run_id):
+        with open(self._record_path(run_id)) as handle:
+            record = json.load(handle)
+        if not isinstance(record, dict):
+            raise ValueError(f"record {run_id} is not an object")
+        return record
+
+    def summaries(self, last=None):
+        """Records in ingest order; ``last`` keeps only the K newest."""
+        ids = self.run_ids()
+        if last is not None and last > 0:
+            ids = ids[-last:]
+        records = []
+        for run_id in ids:
+            try:
+                records.append(self.load(run_id))
+            except (OSError, ValueError):
+                continue
+        return records
+
+    def resolve(self, ref):
+        """Resolve a run reference: ``@N`` / ``@-N`` ingest-order
+        ordinals, or a unique run-id prefix. Raises ``KeyError`` for
+        unknown refs, ``ValueError`` for ambiguous prefixes."""
+        ids = self.run_ids()
+        if not ids:
+            raise KeyError(f"run {ref!r}: store is empty")
+        if ref.startswith("@"):
+            try:
+                position = int(ref[1:])
+            except ValueError:
+                raise KeyError(f"bad run ordinal {ref!r}") from None
+            try:
+                return ids[position]
+            except IndexError:
+                raise KeyError(
+                    f"run {ref!r}: only {len(ids)} run(s) ingested"
+                ) from None
+        matches = [run_id for run_id in ids if run_id.startswith(ref)]
+        if not matches:
+            raise KeyError(f"run {ref!r}: no such run")
+        if len(matches) > 1:
+            raise ValueError(
+                f"run {ref!r} is ambiguous: {', '.join(matches)}"
+            )
+        return matches[0]
+
+    def __len__(self):
+        return len(self.run_ids())
+
+    def __repr__(self):
+        return f"<HistoryStore {self.root}: {len(self)} runs>"
+
+
+# ----------------------------------------------------------------------
+# trend rules and change-point detection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HistoryRule:
+    """One declarative drift rule over the run timeline."""
+
+    name: str
+    metric: str
+    threshold: float = 3.5
+    direction: str = "high"
+    min_runs: int = 3
+    severity: str = "breach"
+
+    def __post_init__(self):
+        if self.direction not in ("high", "low", "both"):
+            raise ValueError(
+                f"rule {self.name!r}: direction must be 'high', 'low' "
+                f"or 'both', got {self.direction!r}"
+            )
+        if self.severity not in ("breach", "warn"):
+            raise ValueError(
+                f"rule {self.name!r}: severity must be 'breach' or "
+                f"'warn', got {self.severity!r}"
+            )
+        if self.threshold <= 0:
+            raise ValueError(
+                f"rule {self.name!r}: threshold must be positive"
+            )
+
+
+def load_history_rules(path):
+    """Load the ``history:`` scope of a ruleset file into
+    :class:`HistoryRule` values (empty list when the file carries no
+    history scope)."""
+    from repro.observe.slo import load_ruleset
+
+    rules = []
+    for entry in load_ruleset(path).get("history", []):
+        rules.append(HistoryRule(
+            name=entry["name"],
+            metric=entry["metric"],
+            threshold=float(entry.get("threshold", 3.5)),
+            direction=entry.get("direction", "high"),
+            min_runs=int(entry.get("min_runs", 3)),
+            severity=entry.get("severity", "breach"),
+        ))
+    return rules
+
+
+def _resolve_elements(value, segments, prefix=""):
+    """Recursive dotted-path traversal with glob fan-out at *any*
+    segment (the SLO resolver only globs at the tail): returns
+    ``{element_key: leaf_value}`` where the element key names the
+    concrete keys each glob matched (``stages.*.sim_s`` over a run
+    with a ``read`` stage yields ``{"read": …}``)."""
+    if value is None:
+        return {}
+    if not segments:
+        return {prefix: value}
+    segment, rest = segments[0], segments[1:]
+    if not isinstance(value, dict):
+        return {}
+    if "*" in segment or "?" in segment:
+        out = {}
+        for key in sorted(value):
+            if fnmatch.fnmatchcase(str(key), segment):
+                sub = f"{prefix}.{key}" if prefix else str(key)
+                out.update(_resolve_elements(value[key], rest, sub))
+        return out
+    return _resolve_elements(value.get(segment), rest, prefix)
+
+
+def resolve_trend_metric(record, spec):
+    """Resolve a trend metric spec against one ``runsum/v1`` record:
+    the SLO dotted-path + glob grammar rooted at the record itself
+    (``stages.*.sim_s``, ``recovery.total``, ``wall_s``, …), with
+    globs allowed mid-path. Returns a scalar (un-globbed spec), a
+    dict of matches, or None when absent."""
+    elements = _resolve_elements(record, spec.split("."))
+    if not elements:
+        return None
+    if list(elements) == [""]:
+        return elements[""]
+    return elements
+
+
+def robust_scale(values):
+    """``max(1.4826·MAD, 0.05·|median|, 1e-9)`` — the denominator of
+    the robust z-score. The MAD term adapts to genuine spread, the
+    5%-of-median floor keeps near-constant series from flagging
+    numeric jitter, and the epsilon keeps all-zero series finite."""
+    med = _median(values)
+    mad = _median([abs(value - med) for value in values])
+    return max(1.4826 * mad, 0.05 * abs(med), 1e-9)
+
+
+def _median(values):
+    ordered = sorted(values)
+    count = len(ordered)
+    if count == 0:
+        return 0.0
+    middle = count // 2
+    if count % 2:
+        return float(ordered[middle])
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def trend_series(records, spec):
+    """``{element_key: [(run_id, value), …]}`` in ingest order for one
+    metric spec over a record list. Scalar specs land under the ``""``
+    key; records where the metric is absent are skipped (a bench
+    envelope does not break a ledger-metric timeline)."""
+    series = {}
+    for record in records:
+        resolved = resolve_trend_metric(record, spec)
+        if resolved is None:
+            continue
+        items = (resolved.items() if isinstance(resolved, dict)
+                 else [("", resolved)])
+        for key, value in items:
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                continue
+            series.setdefault(key, []).append(
+                (record.get("run_id", "?"), value)
+            )
+    return series
+
+
+def evaluate_trend(records, rules, last=None):
+    """Run change-point detection over the record timeline.
+
+    Returns ``{"rules": [...], "flags": [...], "runs": N}`` where each
+    flag is one ``(rule, element, run)`` whose robust z-score over the
+    window exceeds the rule's threshold in the rule's direction.
+    Series shorter than ``min_runs`` are skipped — two runs cannot
+    define "normal".
+    """
+    if last is not None and last > 0:
+        records = records[-last:]
+    evaluated = []
+    flags = []
+    for rule in rules:
+        for key, points in sorted(trend_series(records, rule.metric).items()):
+            values = [value for _, value in points]
+            if len(values) < rule.min_runs:
+                evaluated.append({
+                    "rule": rule.name, "metric": rule.metric,
+                    "element": key, "points": points,
+                    "skipped": f"{len(values)} run(s) < min_runs "
+                               f"{rule.min_runs}",
+                })
+                continue
+            med = _median(values)
+            scale = robust_scale(values)
+            zscores = [(value - med) / scale for value in values]
+            evaluated.append({
+                "rule": rule.name, "metric": rule.metric,
+                "element": key, "points": points,
+                "median": med, "scale": scale, "z": zscores,
+                "skipped": None,
+            })
+            for (run_id, value), z in zip(points, zscores):
+                if rule.direction == "high" and z <= rule.threshold:
+                    continue
+                if rule.direction == "low" and z >= -rule.threshold:
+                    continue
+                if rule.direction == "both" and abs(z) <= rule.threshold:
+                    continue
+                flags.append({
+                    "rule": rule.name, "metric": rule.metric,
+                    "element": key, "run_id": run_id,
+                    "value": value, "median": med, "z": round(z, 3),
+                    "severity": rule.severity,
+                })
+    return {"rules": evaluated, "flags": flags, "runs": len(records)}
+
+
+def trend_has_breach(report):
+    """True iff any flag carries breach severity — what
+    ``repro history trend --gate`` exits nonzero on."""
+    return any(
+        flag["severity"] == "breach" for flag in report.get("flags", ())
+    )

@@ -138,9 +138,13 @@ class Verdict:
 # ----------------------------------------------------------------------
 # ruleset loading
 # ----------------------------------------------------------------------
-def load_rules(path):
-    """Load a ruleset file (JSON, or the flat YAML subset documented
-    in the module docstring) into a list of :class:`SloRule`."""
+def load_ruleset(path):
+    """Load a ruleset file into its raw scoped form: ``{scope:
+    [entry, …]}``. The flat YAML subset groups entries under top-level
+    ``<scope>:`` headers (``rules:`` for SLO gates, ``history:`` for
+    the run-history trend rules — see
+    :mod:`repro.observe.history`); a JSON file is either that dict
+    shape already or a bare list (treated as the ``rules`` scope)."""
     with open(path) as handle:
         text = handle.read()
     stripped = text.lstrip()
@@ -148,8 +152,17 @@ def load_rules(path):
         payload = json.loads(text)
     else:
         payload = _parse_flat_yaml(text)
-    if isinstance(payload, dict):
-        payload = payload.get("rules", [])
+    if isinstance(payload, list):
+        payload = {"rules": payload}
+    return payload
+
+
+def load_rules(path):
+    """Load a ruleset file (JSON, or the flat YAML subset documented
+    in the module docstring) into a list of :class:`SloRule` — the
+    ``rules`` scope only; other scopes (``history:``) have their own
+    loaders."""
+    payload = load_ruleset(path).get("rules", [])
     rules = []
     for entry in payload:
         rules.append(SloRule(
@@ -167,20 +180,32 @@ def load_rules(path):
 
 
 def _parse_flat_yaml(text):
-    """Parse the flat YAML subset rulesets use: an optional top-level
-    ``rules:`` key followed by ``- key: value`` list items, scalars
-    only, ``#`` comments. Deliberately tiny — no dependency on PyYAML,
-    identical behaviour everywhere."""
-    rules = []
+    """Parse the flat YAML subset rulesets use: top-level ``<scope>:``
+    headers (``rules:``, ``history:``, …) each followed by ``- key:
+    value`` list items, scalars only, ``#`` comments. Entries before
+    any header land in the default ``rules`` scope. Deliberately tiny
+    — no dependency on PyYAML, identical behaviour everywhere."""
+    scopes = {}
+    scope = "rules"
     current = None
     for raw in text.splitlines():
         line = raw.split("#", 1)[0].rstrip() if "#" in raw else raw.rstrip()
         stripped = line.strip()
-        if not stripped or stripped == "rules:":
+        if not stripped:
+            continue
+        # An unindented bare `name:` line opens a new scope; entry
+        # keys are always indented under their `- ` item, so this
+        # cannot be confused with a rule field.
+        if (not line[0].isspace() and stripped.endswith(":")
+                and not stripped.startswith("- ")
+                and ":" not in stripped[:-1]):
+            scope = stripped[:-1].strip()
+            scopes.setdefault(scope, [])
+            current = None
             continue
         if stripped.startswith("- "):
             current = {}
-            rules.append(current)
+            scopes.setdefault(scope, []).append(current)
             stripped = stripped[2:].strip()
             if not stripped:
                 continue
@@ -192,7 +217,8 @@ def _parse_flat_yaml(text):
         if not sep:
             raise ValueError(f"expected 'key: value', got {raw!r}")
         current[key.strip()] = _yaml_scalar(value.strip())
-    return {"rules": rules}
+    scopes.setdefault("rules", [])
+    return scopes
 
 
 def _yaml_scalar(value):
@@ -227,6 +253,8 @@ def load_slo_source(target):
     from repro.observe.ledger import read_ledger, validate_events
 
     if isinstance(target, dict):
+        if "kind" in target and "ledger" in target:
+            return target  # already a normalized source — pass through
         return {
             "kind": "envelope",
             "results": target.get("results") or {},

@@ -5,6 +5,12 @@ gates)."""
 
 from repro.report.ascii import bar_chart, line_chart
 from repro.report.explain_ascii import render_explain
+from repro.report.history_ascii import (
+    render_history_diff,
+    render_history_list,
+    render_history_show,
+    render_trend,
+)
 from repro.report.run_report import (
     SCENARIOS,
     attribute_crash,
@@ -32,8 +38,12 @@ __all__ = [
     "render_compare",
     "render_crash_report",
     "render_explain",
+    "render_history_diff",
+    "render_history_list",
+    "render_history_show",
     "render_report",
     "render_trace",
+    "render_trend",
     "render_waterline",
     "render_waterlines",
 ]
